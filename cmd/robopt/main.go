@@ -1,0 +1,187 @@
+// Command robopt optimizes a logical plan: it reads a JSON plan, trains (or
+// loads) an ML model, runs the vector-based priority enumeration, and prints
+// the chosen execution plan with its LOT/COT tables and the simulated
+// runtime.
+//
+// Usage:
+//
+//	robopt -plan query.json                # multi-platform optimization
+//	robopt -plan query.json -mode single   # best single platform
+//	robopt -plan query.json -train train.csv
+//
+// Without -train, a model is trained on the fly from TDGen data (the paper's
+// zero-tuning workflow); with -train, the model is fitted on the given CSV
+// (as produced by the tdgen command).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mlmodel"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/tdgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("robopt: ")
+	var (
+		planPath  = flag.String("plan", "", "path to the JSON logical plan (required)")
+		mode      = flag.String("mode", "multi", "execution mode: multi or single")
+		trainCSV  = flag.String("train", "", "training data CSV (optional; otherwise TDGen runs)")
+		modelPath = flag.String("model", "", "load a previously saved model instead of training")
+		saveModel = flag.String("save-model", "", "save the trained model to this path")
+		nPlats    = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
+		simulate  = flag.Bool("simulate", true, "also run the chosen plan on the simulated cluster")
+		verbose   = flag.Bool("v", false, "print the LOT/COT tables")
+		dotPath   = flag.String("dot", "", "write the chosen execution plan as Graphviz DOT to this path")
+	)
+	flag.Parse()
+	if *planPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*planPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := plan.UnmarshalJSONPlan(f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plats := platform.Subset(*nPlats)
+	avail := platform.DefaultAvailability().Restrict(plats)
+	h := experiments.NewHarness()
+
+	var model mlmodel.Model
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = mlmodel.LoadModel(mf)
+		if closeErr := mf.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *trainCSV != "" {
+		tf, err := os.Open(*trainCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := tdgen.ReadCSV(tf)
+		if closeErr := tf.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainer := mlmodel.LogTargetTrainer{Inner: mlmodel.GBMTrainer{
+			Config: mlmodel.GBMConfig{Trees: 300, MaxDepth: 6, Seed: 7, Parallel: true},
+		}}
+		if model, err = trainer.Fit(ds); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "robopt: no -train or -model given; generating training data and fitting a model (one-time)")
+		if model, err = h.Model(plats, avail); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveModel != "" {
+		mf, err := os.Create(*saveModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = mlmodel.SaveModel(mf, model)
+		if closeErr := mf.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "robopt: model saved to %s\n", *saveModel)
+	}
+
+	var x *plan.Execution
+	switch *mode {
+	case "multi":
+		ctx, err := core.NewContext(l, plats, avail)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ctx.Optimize(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x = res.Execution
+		fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
+		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model calls, %d pruned\n",
+			res.Stats.VectorsCreated, res.Stats.Merges, res.Stats.ModelCalls, res.Stats.Pruned)
+	case "single":
+		score, err := scoreFn(h, l, plats, avail, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := experiments.SinglePlatformChoice(l, plats, avail, score)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assign := make([]platform.ID, l.NumOps())
+		for i := range assign {
+			assign[i] = p
+		}
+		if x, err = plan.NewExecution(l, assign); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chosen platform: %s\n", p)
+	default:
+		log.Fatalf("unknown -mode %q (want multi or single)", *mode)
+	}
+
+	fmt.Printf("execution plan (%s):\n%s", x.PlatformLabel(), x)
+	if *verbose {
+		fmt.Print(x.FormatTables())
+	}
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(x.ToDOT("execution-plan")), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "robopt: DOT written to %s\n", *dotPath)
+	}
+	if *simulate {
+		r := simulator.Default().Run(x)
+		fmt.Printf("simulated runtime: %s\n", r.Label())
+	}
+}
+
+func scoreFn(h *experiments.Harness, l *plan.Logical, plats []platform.ID, avail *platform.Availability, model mlmodel.Model) (func(*plan.Execution) (float64, error), error) {
+	ctx, err := core.NewContext(l, plats, avail)
+	if err != nil {
+		return nil, err
+	}
+	return func(x *plan.Execution) (float64, error) {
+		assign := make([]uint8, len(x.Assign))
+		for i, p := range x.Assign {
+			pi := ctx.Schema.PlatIndex(p)
+			if pi < 0 {
+				return 0, fmt.Errorf("platform %s not in schema", p)
+			}
+			assign[i] = uint8(pi)
+		}
+		return model.Predict(ctx.VectorizeExecution(assign).F), nil
+	}, nil
+}

@@ -1,0 +1,76 @@
+// Command roboptd serves the optimizer over HTTP: a cross-platform system
+// POSTs its logical plan as JSON to /optimize and receives the chosen
+// per-operator platform assignment, the conversion operators, the model's
+// runtime prediction and the enumeration statistics.
+//
+//	roboptd -addr :8080 -model model.json
+//	curl -XPOST -d @query.json 'localhost:8080/optimize?simulate=1'
+//
+// Without -model, a model is trained on startup (one-time, prints progress).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/mlmodel"
+	"repro/internal/platform"
+	"repro/internal/service"
+	"repro/internal/simulator"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("roboptd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "", "load a saved model (otherwise train on startup)")
+		nPlats    = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
+		quick     = flag.Bool("quick", false, "train a small model on startup (fast, less faithful)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
+	)
+	flag.Parse()
+
+	plats := platform.Subset(*nPlats)
+	avail := platform.DefaultAvailability().Restrict(plats)
+
+	var model mlmodel.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = mlmodel.LoadModel(f)
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model loaded from %s", *modelPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "roboptd: training a model on startup (pass -model to skip)")
+		h := experiments.NewHarness()
+		h.Quick = *quick
+		var err error
+		if model, err = h.Model(plats, avail); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("model trained")
+	}
+
+	srv := &service.Server{
+		Model:     model,
+		Platforms: plats,
+		Avail:     avail,
+		Cluster:   simulator.Default(),
+		Workers:   *workers,
+	}
+	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,83 @@
+// Command tdgen generates training data for the ML-based optimizer: it
+// creates synthetic query plans of the requested shapes, enumerates
+// execution plans with the platform-switch pruning, runs a subset on the
+// simulated cluster, imputes the rest by piecewise degree-5 polynomial
+// interpolation (Section VI of the paper), and writes the labelled plan
+// vectors as CSV.
+//
+// Usage:
+//
+//	tdgen -shapes pipeline,juncture,loop -max-ops 50 -templates 16 -o train.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/tdgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdgen: ")
+	var (
+		shapesFlag = flag.String("shapes", "pipeline,juncture,loop", "comma-separated plan shapes (pipeline,juncture,replicate,loop)")
+		maxOps     = flag.Int("max-ops", 50, "maximum operators per synthetic plan")
+		templates  = flag.Int("templates", 16, "templates per shape")
+		plansPer   = flag.Int("plans", 12, "execution plans kept per template")
+		profiles   = flag.Int("profiles", 10, "input-cardinality profiles per plan")
+		beta       = flag.Int("beta", 3, "platform-switch pruning threshold")
+		nPlats     = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
+		seed       = flag.Int64("seed", 2020, "generation seed")
+		out        = flag.String("o", "-", "output CSV path ('-' for stdout)")
+	)
+	flag.Parse()
+
+	var shapes []tdgen.Shape
+	for _, name := range strings.Split(*shapesFlag, ",") {
+		s, err := tdgen.ShapeByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		shapes = append(shapes, s)
+	}
+	cfg := tdgen.Config{
+		Shapes:            shapes,
+		MaxOps:            *maxOps,
+		TemplatesPerShape: *templates,
+		PlansPerTemplate:  *plansPer,
+		Profiles:          *profiles,
+		Beta:              *beta,
+		Platforms:         platform.Subset(*nPlats),
+		Avail:             platform.DefaultAvailability().Restrict(platform.Subset(*nPlats)),
+		CardMax:           1e10,
+		Seed:              *seed,
+	}
+	ds, rep, err := tdgen.New(cfg, simulator.Default()).Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := tdgen.WriteCSV(w, ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d rows (%d logical plans, %d execution plans, %d executed, %d imputed, %d failed, %d subplan rows)\n",
+		ds.Len(), rep.LogicalPlans, rep.ExecutionPlans, rep.Executed, rep.Imputed, rep.Failed, rep.SubplanRows)
+}

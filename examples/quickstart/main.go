@@ -1,0 +1,56 @@
+// Quickstart: train an ML-based optimizer and optimize the paper's running
+// example — a join between customers and transactions (Fig. 3) — letting
+// Robopt decide which platform executes each operator and where data must
+// move between platforms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Train the runtime-prediction model. QuickTraining keeps this to
+	// a couple of seconds; drop it for the full paper-scale setup.
+	fmt.Println("training the ML model from generated execution logs...")
+	opt, err := robopt.Train(robopt.QuickTraining())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the logical plan of Fig. 3a: classify customers of a
+	// country by the total amount of their credit card transactions.
+	b := robopt.NewPlanBuilder(120)
+	transactions := b.Source(robopt.TextFileSource, "transactions", 40e6)
+	month := b.Add(robopt.Filter, "month", robopt.Logarithmic, 0.25, transactions)
+	customers := b.Source(robopt.TextFileSource, "customers", 2e6)
+	country := b.Add(robopt.Filter, "country", robopt.Logarithmic, 0.05, customers)
+	project := b.Add(robopt.Map, "project", robopt.Logarithmic, 1, country)
+	join := b.Add(robopt.Join, "customer_id", robopt.Linear, 0.009, month, project)
+	agg := b.Add(robopt.ReduceBy, "sum_&_count", robopt.Linear, 0.155, join)
+	label := b.Add(robopt.Map, "label", robopt.Logarithmic, 1, agg)
+	b.Add(robopt.CollectionSink, "collect", robopt.Logarithmic, 1, label)
+	plan, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Optimize: the enumeration runs entirely on plan vectors, pruned
+	// by the ML model (Sections IV-V of the paper).
+	res, err := opt.Optimize(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchosen execution plan (predicted %.1fs, %d vectors enumerated, %d pruned):\n",
+		res.PredictedRuntime, res.Stats.VectorsCreated, res.Stats.Pruned)
+	fmt.Print(res.Execution)
+	fmt.Printf("\nLOT/COT tables (Fig. 6):\n%s", res.Execution.FormatTables())
+
+	// 4. Execute on the simulated cluster.
+	run := robopt.DefaultCluster().Run(res.Execution)
+	fmt.Printf("\nsimulated runtime: %s\n", run.Label())
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// OrderPolicy selects the traversal order of the plan enumeration. The
+// paper's fine-granular operations make the traversal a plug-in: the
+// priority of Definition 3 yields Robopt's order, while distance-based
+// priorities yield the classic top-down and bottom-up strategies used as
+// baselines in Figure 10 (Section V-B).
+type OrderPolicy int
+
+const (
+	// OrderPriority is the paper's priority: the cardinality of the
+	// enumeration resulting from concatenating a node with its children,
+	// |V| × Π|Vc| (Definition 3). It maximizes the pruning effect.
+	OrderPriority OrderPolicy = iota
+	// OrderTopDown concatenates sink-most enumerations first.
+	OrderTopDown
+	// OrderBottomUp concatenates source-most enumerations first.
+	OrderBottomUp
+	// OrderFIFO concatenates in insertion order (no informed priority).
+	OrderFIFO
+)
+
+// String names the policy.
+func (o OrderPolicy) String() string {
+	switch o {
+	case OrderPriority:
+		return "priority"
+	case OrderTopDown:
+		return "top-down"
+	case OrderBottomUp:
+		return "bottom-up"
+	case OrderFIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("OrderPolicy(%d)", int(o))
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Execution *plan.Execution
+	Vector    *Vector
+	// Predicted is the model's runtime estimate for the chosen plan.
+	Predicted float64
+	Stats     Stats
+}
+
+// Optimize runs the full Robopt pipeline: priority-based enumeration with
+// ML-driven boundary pruning, then unvectorization of the cheapest plan
+// vector (Fig. 4). It is Algorithm 1 end to end.
+func (c *Context) Optimize(m CostModel) (*Result, error) {
+	return c.OptimizeOpts(m, BoundaryPruner{Model: m}, OrderPriority)
+}
+
+// OptimizeOpts runs Algorithm 1 with an explicit pruner and traversal order.
+func (c *Context) OptimizeOpts(m CostModel, pr Pruner, order OrderPolicy) (*Result, error) {
+	var st Stats
+	final, err := c.EnumerateFull(pr, order, &st)
+	if err != nil {
+		return nil, err
+	}
+	best := GetOptimal(final, m, &st)
+	if best == nil {
+		return nil, fmt.Errorf("core: enumeration produced no plan vectors")
+	}
+	x, err := c.Unvectorize(best)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Stats: st}, nil
+}
+
+// OptimizeExhaustive enumerates the complete search space Ω_p without
+// pruning (the "Exhaustive enumeration" baseline of Figure 9a) and returns
+// the optimal plan w.r.t. the model. maxVectors bounds the enumeration; 0
+// means unlimited.
+func (c *Context) OptimizeExhaustive(m CostModel, maxVectors int) (*Result, error) {
+	var st Stats
+	e, err := c.Enumerate(c.Vectorize(), maxVectors, &st)
+	if err != nil {
+		return nil, err
+	}
+	best := GetOptimal(e, m, &st)
+	x, err := c.Unvectorize(best)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Stats: st}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: priority-based plan enumeration
+// ---------------------------------------------------------------------------
+
+type enumNode struct {
+	e    *Enumeration
+	prio float64
+	tie  int // fewer new boundary operators wins on equal priority
+	seq  int // insertion order breaks remaining ties
+	idx  int // heap index
+}
+
+type nodeHeap []*enumNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	if h[i].tie != h[j].tie {
+		return h[i].tie < h[j].tie
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *nodeHeap) Push(x any) {
+	n := x.(*enumNode)
+	n.idx = len(*h)
+	*h = append(*h, n)
+}
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return n
+}
+
+// EnumerateFull runs the priority-based plan enumeration (Algorithm 1) and
+// returns the final plan vector enumeration covering the whole plan. It
+// vectorizes and splits the plan into singleton abstract vectors, enumerates
+// each, and concatenates enumerations in priority order, pruning after every
+// child concatenation.
+func (c *Context) EnumerateFull(pr Pruner, order OrderPolicy, st *Stats) (*Enumeration, error) {
+	n := c.Plan.NumOps()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	// Lines 2-5: split into singletons, enumerate each, set priorities.
+	singles := c.Split(c.Vectorize())
+	owner := make([]*enumNode, n)
+	h := make(nodeHeap, 0, len(singles))
+	seq := 0
+	for _, a := range singles {
+		id := a.Scope.IDs()[0]
+		node := &enumNode{e: c.enumerateSingleton(id, st), seq: seq, idx: len(h)}
+		seq++
+		owner[id] = node
+		h = append(h, node)
+	}
+	for _, node := range h {
+		c.setPriority(node, owner, order)
+	}
+	heap.Init(&h)
+
+	deferred := 0
+	// Lines 6-17: concatenate by priority until one enumeration remains.
+	for len(h) > 1 {
+		node := heap.Pop(&h).(*enumNode)
+		children := c.childrenOf(node, owner)
+		if len(children) == 0 {
+			// Nothing downstream to concatenate with: park the node
+			// until an upstream enumeration absorbs it.
+			deferred++
+			if deferred > len(h)+1 {
+				return nil, fmt.Errorf("core: plan is not weakly connected; enumeration cannot converge")
+			}
+			node.prio = math.Inf(-1)
+			heap.Push(&h, node)
+			continue
+		}
+		deferred = 0
+		cur := node.e
+		for _, child := range children {
+			pairs := Iterate(cur, child.e)
+			info := c.MergeInfo(cur, child.e)
+			merged := &Enumeration{Scope: cur.Scope.Union(child.e.Scope)}
+			merged.Vectors = make([]*Vector, len(pairs))
+			// Merge is a pure function of its two inputs, so the
+			// cartesian product fans out across workers; chunked
+			// writes keep the vector order deterministic.
+			parallelFor(len(pairs), c.Workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					merged.Vectors[i] = c.Merge(pairs[i][0], pairs[i][1], info, nil)
+				}
+			})
+			if st != nil {
+				st.Merges += len(pairs)
+				st.VectorsCreated += len(pairs)
+			}
+			merged.Boundary = c.boundaryOf(merged.Scope)
+			if st != nil {
+				st.observe(len(merged.Vectors))
+			}
+			pr.Prune(c, merged, st)
+			heap.Remove(&h, child.idx)
+			cur = merged
+		}
+		newNode := &enumNode{e: cur, seq: seq}
+		seq++
+		for _, id := range cur.Scope.IDs() {
+			owner[id] = newNode
+		}
+		c.setPriority(newNode, owner, order)
+		heap.Push(&h, newNode)
+		// Line 17: update the priorities of the parents of the new node.
+		for _, p := range c.parentsOf(newNode, owner) {
+			c.setPriority(p, owner, order)
+			heap.Fix(&h, p.idx)
+		}
+	}
+	return h[0].e, nil
+}
+
+// childrenOf returns the distinct enumerations downstream-adjacent to node
+// (owners of consumers of node's operators), ordered by ascending minimum
+// scope ID for determinism.
+func (c *Context) childrenOf(node *enumNode, owner []*enumNode) []*enumNode {
+	seen := map[*enumNode]bool{node: true}
+	var out []*enumNode
+	for _, id := range node.e.Scope.IDs() {
+		for _, nb := range c.Plan.Op(id).Out {
+			o := owner[nb]
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// parentsOf returns the distinct enumerations upstream-adjacent to node.
+func (c *Context) parentsOf(node *enumNode, owner []*enumNode) []*enumNode {
+	seen := map[*enumNode]bool{node: true}
+	var out []*enumNode
+	for _, id := range node.e.Scope.IDs() {
+		for _, nb := range c.Plan.Op(id).In {
+			o := owner[nb]
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// setPriority computes the node's priority under the given policy and its
+// tie-break value (the number of boundary operators the concatenation with
+// its children would introduce).
+func (c *Context) setPriority(node *enumNode, owner []*enumNode, order OrderPolicy) {
+	children := c.childrenOf(node, owner)
+	switch order {
+	case OrderPriority:
+		// Definition 3: |V| × Π |Vc|.
+		p := float64(len(node.e.Vectors))
+		for _, ch := range children {
+			p *= float64(len(ch.e.Vectors))
+		}
+		if len(children) == 0 {
+			p = 0 // nothing to concatenate; let productive nodes go first
+		}
+		node.prio = p
+	case OrderTopDown:
+		// Sink-most first: priority grows with dataflow depth.
+		d := math.Inf(-1)
+		for _, id := range node.e.Scope.IDs() {
+			if f := float64(c.depth[id]); f > d {
+				d = f
+			}
+		}
+		node.prio = d
+	case OrderBottomUp:
+		// Source-most first: priority shrinks with dataflow depth.
+		d := math.Inf(1)
+		for _, id := range node.e.Scope.IDs() {
+			if f := float64(c.depth[id]); f < d {
+				d = f
+			}
+		}
+		node.prio = -d
+	case OrderFIFO:
+		node.prio = 0
+	}
+	// Tie-break: fewer new boundary operators (Section V-B).
+	scope := node.e.Scope.Clone()
+	for _, ch := range children {
+		scope.UnionInto(ch.e.Scope)
+	}
+	node.tie = len(c.boundaryOf(scope))
+}

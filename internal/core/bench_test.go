@@ -1,0 +1,163 @@
+package core
+
+// Ablation micro-benchmarks for the design choices DESIGN.md calls out:
+// the packed-uint64 pruning footprint vs the string fallback, and the
+// unrolled vector kernels vs a naive loop, plus the merge and prune hot
+// paths themselves.
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/vecops"
+)
+
+func benchContext(b *testing.B, nOps, nPlats int) *Context {
+	b.Helper()
+	pb := plan.NewBuilder(100)
+	cur := pb.Source(platform.TextFileSource, "src", 1e7)
+	for i := 0; i < nOps-2; i++ {
+		cur = pb.Add(platform.Map, "m", platform.Linear, 0.9, cur)
+	}
+	pb.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, cur)
+	l, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := NewContext(l, platform.Subset(nPlats), platform.UniformAvailability(nPlats))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+// BenchmarkAblationFootprint compares the packed-uint64 footprint key with
+// the string fallback on identical assignments.
+func BenchmarkAblationFootprint(b *testing.B) {
+	assign := make([]uint8, 64)
+	for i := range assign {
+		assign[i] = uint8(i % 5)
+	}
+	narrow := make([]plan.OpID, 12)
+	for i := range narrow {
+		narrow[i] = plan.OpID(i * 3)
+	}
+	wide := make([]plan.OpID, 24)
+	for i := range wide {
+		wide[i] = plan.OpID(i * 2)
+	}
+	b.Run("PackedUint64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, packed := footprintKey(assign, narrow); !packed {
+				b.Fatal("expected packed key")
+			}
+		}
+	})
+	b.Run("StringFallback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, packed := footprintKey(assign, wide); packed {
+				b.Fatal("expected string key")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVecops compares the unrolled add kernel against a naive
+// loop at plan-vector width.
+func BenchmarkAblationVecops(b *testing.B) {
+	s := MustSchema(platform.All())
+	x := make([]float64, s.Len())
+	y := make([]float64, s.Len())
+	dst := make([]float64, s.Len())
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) * 2
+	}
+	b.Run("Unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vecops.Add(dst, x, y)
+		}
+	})
+	b.Run("Naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vecops.AddNaive(dst, x, y)
+		}
+	})
+}
+
+// BenchmarkMerge measures the plan-vector merge operation — the inner loop
+// of the entire enumeration.
+func BenchmarkMerge(b *testing.B) {
+	ctx := benchContext(b, 20, 5)
+	a := ctx.enumerateSingleton(3, nil)
+	c := ctx.enumerateSingleton(4, nil)
+	info := ctx.MergeInfo(a, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Merge(a.Vectors[0], c.Vectors[0], info, nil)
+	}
+}
+
+// BenchmarkVectorizeSubplan measures the per-call plan-to-vector
+// transformation the Rheem-ML baseline pays on every model invocation.
+func BenchmarkVectorizeSubplan(b *testing.B) {
+	ctx := benchContext(b, 20, 5)
+	assign := map[plan.OpID]uint8{}
+	for i := 0; i < 10; i++ {
+		assign[plan.OpID(i)] = uint8(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.VectorizeSubplan(assign)
+	}
+}
+
+// BenchmarkPrune measures boundary pruning over a realistic enumeration.
+func BenchmarkPrune(b *testing.B) {
+	ctx := benchContext(b, 8, 3)
+	model := weightModel{}
+	e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig := make([]*Vector, len(e.Vectors))
+	copy(orig, e.Vectors)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Vectors = append(e.Vectors[:0], orig...)
+		BoundaryPruner{Model: model}.Prune(ctx, e, nil)
+	}
+}
+
+// BenchmarkParallelEnumeration compares the serial and parallel enumeration
+// paths on a large pipeline — the parallelism opportunity the paper's
+// algebraic operations are designed to expose.
+func BenchmarkParallelEnumeration(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		ctx := benchContext(b, 60, 5)
+		ctx.Workers = workers
+		m := weightModel{}
+		name := "serial"
+		if workers > 1 {
+			name = "workers=8"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.Optimize(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type weightModel struct{}
+
+func (weightModel) Predict(f []float64) float64 {
+	s := 0.0
+	for i, v := range f {
+		s += v * float64(i%7)
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+// CostModel is the oracle m of the prune operation (Section IV-E): "it can
+// be a cost model, an ML model, or even a pricing catalogue". Robopt
+// instantiates it with an ML model trained to predict execution-plan
+// runtimes; the baselines plug in linear cost formulas.
+type CostModel interface {
+	// Predict estimates the runtime (seconds) of the execution (sub)plan
+	// represented by feature vector f.
+	Predict(f []float64) float64
+}
+
+// Stats counts the work performed during one enumeration. It backs Table I
+// (enumerated subplans) and the latency analyses of Figures 1, 9, 10.
+type Stats struct {
+	VectorsCreated int // plan vectors materialized (enumerated subplans)
+	Merges         int // merge operations performed
+	ModelCalls     int // cost-oracle invocations
+	Pruned         int // vectors discarded by pruning
+	PeakEnumSize   int // largest enumeration encountered
+}
+
+func (s *Stats) observe(size int) {
+	if size > s.PeakEnumSize {
+		s.PeakEnumSize = size
+	}
+}
+
+// topoClass classifies an operator's local structure for the
+// topology-membership features.
+type topoClass uint8
+
+const (
+	classPipeline topoClass = iota
+	classJuncture
+	classReplicate
+)
+
+// Context precomputes everything one optimization run needs about a logical
+// plan: the schema, per-operator platform alternatives, edge lists, topology
+// classes and loop heads. A Context is cheap enough to build per query and
+// is not safe for concurrent mutation, but all Optimize* entry points may be
+// called sequentially on the same Context.
+type Context struct {
+	Plan   *plan.Logical
+	Schema *Schema
+	Avail  *platform.Availability
+
+	// Workers enables intra-enumeration parallelism (Section IV: the
+	// algebraic operations "enable parallelism"): merges and model
+	// invocations fan out across this many goroutines. 0 or 1 runs
+	// serially. Results are identical either way — merge is a pure
+	// function and vector order is preserved — but the cost model must
+	// be safe for concurrent Predict calls (all mlmodel models are).
+	Workers int
+
+	alternatives [][]uint8     // per op: schema platform columns available
+	edges        []plan.Edge   // all dataflow edges
+	opClass      []topoClass   // per op
+	loopHead     []bool        // per op: counts the loop topology once
+	linear       []bool        // per op: pipeline-fusable
+	depth        []int         // per op: longest path from a source
+	adjacency    [][]plan.OpID // per op: all neighbours (in and out)
+	effIters     []float64     // per op: loop iterations (1 outside loops)
+}
+
+// NewContext prepares an optimization context for plan l over the given
+// platform universe and availability matrix.
+func NewContext(l *plan.Logical, platforms []platform.ID, avail *platform.Availability) (*Context, error) {
+	s, err := NewSchema(platforms)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	n := l.NumOps()
+	c := &Context{
+		Plan:         l,
+		Schema:       s,
+		Avail:        avail,
+		alternatives: make([][]uint8, n),
+		edges:        l.Edges(),
+		opClass:      make([]topoClass, n),
+		loopHead:     make([]bool, n),
+		linear:       make([]bool, n),
+		depth:        make([]int, n),
+		adjacency:    make([][]plan.OpID, n),
+		effIters:     make([]float64, n),
+	}
+	firstInLoop := map[int]plan.OpID{}
+	for _, o := range l.Ops {
+		var alts []uint8
+		for pi, p := range s.Platforms {
+			if avail.Has(o.Kind, p) {
+				alts = append(alts, uint8(pi))
+			}
+		}
+		if len(alts) == 0 {
+			return nil, fmt.Errorf("core: operator %d (%s) has no execution operator on platforms %v", o.ID, o.Kind, platforms)
+		}
+		c.alternatives[o.ID] = alts
+		switch {
+		case len(o.In) >= 2:
+			c.opClass[o.ID] = classJuncture
+		case len(o.Out) >= 2:
+			c.opClass[o.ID] = classReplicate
+		default:
+			c.opClass[o.ID] = classPipeline
+		}
+		c.linear[o.ID] = o.IsBoundaryLinear()
+		c.effIters[o.ID] = 1
+		if o.LoopID != 0 {
+			if head, ok := firstInLoop[o.LoopID]; !ok || o.ID < head {
+				firstInLoop[o.LoopID] = o.ID
+			}
+			c.effIters[o.ID] = float64(l.Loops[o.LoopID])
+		}
+		c.adjacency[o.ID] = append(append([]plan.OpID(nil), o.In...), o.Out...)
+	}
+	for _, head := range firstInLoop {
+		c.loopHead[head] = true
+	}
+	for _, id := range l.TopoOrder() {
+		d := 0
+		for _, p := range l.Ops[id].In {
+			if c.depth[p]+1 > d {
+				d = c.depth[p] + 1
+			}
+		}
+		c.depth[id] = d
+	}
+	return c, nil
+}
+
+// Alternatives returns the schema platform columns available for operator
+// id. The slice must not be modified.
+func (c *Context) Alternatives(id plan.OpID) []uint8 { return c.alternatives[id] }
+
+// SearchSpaceSize returns the number of complete execution plans (the
+// |Ω_p| = Π k_i of the plan enumeration problem), saturating at +Inf-like
+// large values via float64.
+func (c *Context) SearchSpaceSize() float64 {
+	size := 1.0
+	for _, alts := range c.alternatives {
+		size *= float64(len(alts))
+	}
+	return size
+}
+
+// boundaryOf returns the operators of scope that are adjacent to at least
+// one operator outside scope, in ascending ID order (the boundary operators
+// of Definition 2).
+func (c *Context) boundaryOf(scope plan.Bitset) []plan.OpID {
+	var out []plan.OpID
+	for _, id := range scope.IDs() {
+		for _, nb := range c.adjacency[id] {
+			if !scope.Has(nb) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// crossingEdges returns the dataflow edges with one endpoint in a and the
+// other in b (either direction).
+func (c *Context) crossingEdges(a, b plan.Bitset) []plan.Edge {
+	var out []plan.Edge
+	for _, e := range c.edges {
+		if (a.Has(e.From) && b.Has(e.To)) || (b.Has(e.From) && a.Has(e.To)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

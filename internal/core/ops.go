@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/vecops"
+)
+
+// Enumeration is a plan vector enumeration V = (s, V) (Definition 1): a
+// scope s of operator IDs and a set of plan vectors, each representing one
+// execution plan for the logical subplan spanned by the scope. Boundary
+// caches the scope's boundary operators (Definition 2) in ascending order.
+type Enumeration struct {
+	Scope    plan.Bitset
+	Boundary []plan.OpID
+	Vectors  []*Vector
+}
+
+// Size returns the number of plan vectors in the enumeration.
+func (e *Enumeration) Size() int { return len(e.Vectors) }
+
+// ---------------------------------------------------------------------------
+// Core operations (Section IV-C)
+// ---------------------------------------------------------------------------
+
+// Vectorize transforms the logical plan into an abstract plan vector
+// (operation 1): structure features are fixed, and for every operator kind
+// with more than one execution alternative the per-platform cells hold -1,
+// indicating the open choice.
+func (c *Context) Vectorize() *Abstract {
+	s := c.Schema
+	a := &Abstract{F: make([]float64, s.Len()), Scope: plan.NewBitset(c.Plan.NumOps())}
+	for _, o := range c.Plan.Ops {
+		a.Scope.Set(o.ID)
+		c.addSingletonStructure(a.F, o)
+		for _, pi := range c.alternatives[o.ID] {
+			if len(c.alternatives[o.ID]) == 1 {
+				a.F[s.OpPlatformCell(o.Kind, int(pi))]++
+			} else {
+				a.F[s.OpPlatformCell(o.Kind, int(pi))] = -1
+			}
+		}
+	}
+	// Fuse pipeline segments exactly as the merge operation will, so the
+	// abstract structure matches the merged concrete vectors.
+	a.F[TopoPipeline] -= float64(c.totalFuses())
+	a.F[s.DatasetCell()] = c.Plan.AvgTupleBytes
+	return a
+}
+
+// addPlatformChoice records operator o running on platform column pi:
+// the per-platform instance cell of its kind plus the platform-load cells.
+func (c *Context) addPlatformChoice(f []float64, o *plan.Operator, pi int) {
+	s := c.Schema
+	f[s.OpPlatformCell(o.Kind, pi)]++
+	iters := c.effIters[o.ID]
+	f[s.OpPlatInCardCell(o.Kind, pi)] += o.InputCard * iters
+	f[s.OpPlatOutCardCell(o.Kind, pi)] += o.OutputCard * iters
+	f[s.LoadCell(pi)] += o.InputCard * o.UDF.CostFactor() * iters
+	f[s.PlatOpsCell(pi)]++
+	if o.Kind.IsShuffling() {
+		f[s.ShuffleLoadCell(pi)] += o.InputCard * iters
+	}
+	if o.Kind.IsSource() {
+		f[s.IOBytesCell(pi)] += o.OutputCard * c.Plan.AvgTupleBytes
+	} else if o.Kind.IsSink() {
+		f[s.IOBytesCell(pi)] += o.InputCard * c.Plan.AvgTupleBytes
+	}
+	card := o.InputCard
+	if o.OutputCard > card {
+		card = o.OutputCard
+	}
+	if bytes := card * c.Plan.AvgTupleBytes; bytes > f[s.MaxBytesCell(pi)] {
+		f[s.MaxBytesCell(pi)] = bytes
+	}
+}
+
+// convCard returns the effective cardinality a conversion on edge e moves
+// over the whole execution: a conversion between two in-loop operators
+// repeats every iteration, so the moved tuples multiply accordingly.
+func (c *Context) convCard(e plan.Edge) float64 {
+	card := c.Plan.EdgeCard(e)
+	if it := c.effIters[e.From]; it > 1 && c.effIters[e.To] > 1 {
+		card *= it
+	}
+	return card
+}
+
+// totalFuses counts dataflow edges whose endpoints are both linear: each
+// such edge fuses two pipeline segments into one.
+func (c *Context) totalFuses() int {
+	fuses := 0
+	for _, e := range c.edges {
+		if c.linear[e.From] && c.linear[e.To] {
+			fuses++
+		}
+	}
+	return fuses
+}
+
+// addSingletonStructure adds operator o's platform-independent feature
+// contribution to f: topology counts, kind totals, topology membership, UDF
+// complexity and cardinalities.
+func (c *Context) addSingletonStructure(f []float64, o *plan.Operator) {
+	s := c.Schema
+	switch c.opClass[o.ID] {
+	case classJuncture:
+		f[TopoJuncture]++
+		f[s.OpInTopologyCell(o.Kind, TopoJuncture)]++
+	case classReplicate:
+		f[TopoReplicate]++
+		f[s.OpInTopologyCell(o.Kind, TopoReplicate)]++
+	default:
+		f[TopoPipeline]++
+		f[s.OpInTopologyCell(o.Kind, TopoPipeline)]++
+	}
+	if o.LoopID != 0 {
+		f[s.OpInTopologyCell(o.Kind, TopoLoop)]++
+		if c.loopHead[o.ID] {
+			f[TopoLoop]++
+		}
+	}
+	f[s.OpTotalCell(o.Kind)]++
+	f[s.OpUDFCell(o.Kind)] += o.UDF.Weight()
+	// Cardinality cells record the tuples the operator processes over the
+	// whole execution: in-loop operators run once per iteration, so their
+	// per-pass cardinality is multiplied by the loop's iteration count.
+	// This is how iteration counts enter the plan vector at all.
+	iters := c.effIters[o.ID]
+	f[s.OpInCardCell(o.Kind)] += o.InputCard * iters
+	f[s.OpOutCardCell(o.Kind)] += o.OutputCard * iters
+}
+
+// Split divides an abstract plan vector into singleton abstract vectors, one
+// per operator in its scope (operation 4). The results are pair-wise
+// disjoint and their union covers the input scope, which renders the
+// enumeration parallelizable and is the entry point of Algorithm 1 (line 2).
+func (c *Context) Split(a *Abstract) []*Abstract {
+	ids := a.Scope.IDs()
+	out := make([]*Abstract, 0, len(ids))
+	s := c.Schema
+	for _, id := range ids {
+		o := c.Plan.Op(id)
+		sa := &Abstract{F: make([]float64, s.Len()), Scope: plan.NewBitset(c.Plan.NumOps())}
+		sa.Scope.Set(id)
+		c.addSingletonStructure(sa.F, o)
+		for _, pi := range c.alternatives[id] {
+			if len(c.alternatives[id]) == 1 {
+				sa.F[s.OpPlatformCell(o.Kind, int(pi))]++
+			} else {
+				sa.F[s.OpPlatformCell(o.Kind, int(pi))] = -1
+			}
+		}
+		sa.F[s.DatasetCell()] = c.Plan.AvgTupleBytes
+		out = append(out, sa)
+	}
+	return out
+}
+
+// Enumerate instantiates an abstract plan vector into the plan vector
+// enumeration of all its concrete execution alternatives (operation 2). For
+// a singleton scope this yields one vector per available platform; for
+// larger scopes it takes the cartesian product of the operators'
+// alternatives, i.e. the exhaustive enumeration of the subplan. maxVectors
+// guards against accidental exponential blow-ups: 0 means unlimited.
+func (c *Context) Enumerate(a *Abstract, maxVectors int, st *Stats) (*Enumeration, error) {
+	ids := a.Scope.IDs()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: cannot enumerate an empty scope")
+	}
+	e := c.enumerateSingleton(ids[0], st)
+	for _, id := range ids[1:] {
+		next := c.enumerateSingleton(id, st)
+		pairs := Iterate(e, next)
+		info := c.MergeInfo(e, next)
+		merged := &Enumeration{Scope: e.Scope.Union(next.Scope)}
+		for _, pr := range pairs {
+			merged.Vectors = append(merged.Vectors, c.Merge(pr[0], pr[1], info, st))
+			if maxVectors > 0 && len(merged.Vectors) > maxVectors {
+				return nil, fmt.Errorf("core: enumeration exceeds %d vectors", maxVectors)
+			}
+		}
+		merged.Boundary = c.boundaryOf(merged.Scope)
+		e = merged
+		if st != nil {
+			st.observe(len(e.Vectors))
+		}
+	}
+	return e, nil
+}
+
+// enumerateSingleton returns the enumeration of a single operator: one plan
+// vector per available execution operator.
+func (c *Context) enumerateSingleton(id plan.OpID, st *Stats) *Enumeration {
+	o := c.Plan.Op(id)
+	s := c.Schema
+	scope := plan.NewBitset(c.Plan.NumOps())
+	scope.Set(id)
+	e := &Enumeration{Scope: scope, Boundary: c.boundaryOf(scope)}
+	for _, pi := range c.alternatives[id] {
+		v := &Vector{F: make([]float64, s.Len()), Assign: make([]uint8, c.Plan.NumOps())}
+		for i := range v.Assign {
+			v.Assign[i] = Unassigned
+		}
+		v.Assign[id] = pi
+		c.addSingletonStructure(v.F, o)
+		c.addPlatformChoice(v.F, o, int(pi))
+		v.F[s.DatasetCell()] = c.Plan.AvgTupleBytes
+		e.Vectors = append(e.Vectors, v)
+		if st != nil {
+			st.VectorsCreated++
+		}
+	}
+	return e
+}
+
+// Unvectorize translates a complete plan vector back into an executable
+// execution plan (operation 3), reconstructing the plan from the immutable
+// LOT structure and the vector's platform assignment, from which the COT
+// (conversion operators) is derived.
+func (c *Context) Unvectorize(v *Vector) (*plan.Execution, error) {
+	assign := make([]platform.ID, c.Plan.NumOps())
+	for i, a := range v.Assign {
+		if a == Unassigned {
+			return nil, fmt.Errorf("core: vector does not cover operator %d", i)
+		}
+		assign[i] = c.Schema.Platform(int(a))
+	}
+	x, err := plan.NewExecution(c.Plan, assign)
+	if err != nil {
+		return nil, err
+	}
+	if err := x.Validate(c.Avail); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary operations (Section IV-D)
+// ---------------------------------------------------------------------------
+
+// Iterate returns the cartesian product of the two enumerations' vectors as
+// ordered pairs (operation 5).
+func Iterate(a, b *Enumeration) [][2]*Vector {
+	out := make([][2]*Vector, 0, len(a.Vectors)*len(b.Vectors))
+	for _, va := range a.Vectors {
+		for _, vb := range b.Vectors {
+			out = append(out, [2]*Vector{va, vb})
+		}
+	}
+	return out
+}
+
+// MergeCtx precomputes the plan-structure information shared by every merge
+// of vectors from two fixed enumerations: the dataflow edges crossing the
+// two scopes and how many of them fuse pipeline segments. Conversion
+// features depend on the per-pair platform choices and are computed inside
+// Merge itself.
+type MergeCtx struct {
+	Crossing []plan.Edge
+	Fuses    int
+}
+
+// MergeInfo builds the MergeCtx for concatenating enumerations a and b.
+func (c *Context) MergeInfo(a, b *Enumeration) *MergeCtx {
+	info := &MergeCtx{Crossing: c.crossingEdges(a.Scope, b.Scope)}
+	for _, e := range info.Crossing {
+		if c.linear[e.From] && c.linear[e.To] {
+			info.Fuses++
+		}
+	}
+	return info
+}
+
+// Merge concatenates two plan vectors into the vector of the combined
+// subplan (operation 6). Feature blocks are added cell-wise with two
+// exceptions mandated by the paper: the pipeline topology cell fuses when
+// the subplans concatenate linearly ("when concatenating two pipeline
+// subplans the resulted plan is still a single pipeline"), and the input
+// tuple size keeps the maximum. Conversion features are added for every
+// crossing edge whose endpoints run on different platforms. Merge is
+// commutative and, across any merge tree over disjoint scopes, associative:
+// every crossing edge is accounted exactly once.
+func (c *Context) Merge(v1, v2 *Vector, info *MergeCtx, st *Stats) *Vector {
+	s := c.Schema
+	out := &Vector{F: make([]float64, s.Len()), Assign: make([]uint8, len(v1.Assign))}
+	vecops.Add(out.F, v1.F, v2.F)
+	out.F[TopoPipeline] -= float64(info.Fuses)
+	// The dataset cell and the per-platform peak-bytes cells merge by max,
+	// not by sum.
+	d := s.DatasetCell()
+	out.F[d] = v1.F[d]
+	if v2.F[d] > out.F[d] {
+		out.F[d] = v2.F[d]
+	}
+	lo, hi := s.maxMergedRange()
+	for i := lo; i < hi; i++ {
+		out.F[i] = v1.F[i]
+		if v2.F[i] > out.F[i] {
+			out.F[i] = v2.F[i]
+		}
+	}
+	copy(out.Assign, v1.Assign)
+	for i, a := range v2.Assign {
+		if a != Unassigned {
+			out.Assign[i] = a
+		}
+	}
+	for _, e := range info.Crossing {
+		pa, pb := out.Assign[e.From], out.Assign[e.To]
+		if pa != pb {
+			card := c.convCard(e)
+			out.F[s.MovePlatformCell(int(pa))]++
+			out.F[s.MovePlatformCell(int(pb))]++
+			out.F[s.MoveInCardCell()] += card
+			out.F[s.MoveOutCardCell()] += card
+		}
+	}
+	if st != nil {
+		st.Merges++
+		st.VectorsCreated++
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Prune operation (Section IV-E)
+// ---------------------------------------------------------------------------
+
+// Pruner reduces a plan vector enumeration in place (operation 7). Distinct
+// pruning policies (the boundary pruning of the optimizer, the
+// platform-switch pruning of TDGen) implement this interface, which is how
+// the paper's "fine-granular operations" let the same Algorithm 1 serve both
+// uses.
+type Pruner interface {
+	Prune(c *Context, e *Enumeration, st *Stats)
+}
+
+// BoundaryPruner implements the lossless boundary pruning of Definition 2:
+// among the vectors of an enumeration that employ the same platforms for all
+// boundary operators (equal pruning footprints), only the one with the
+// lowest predicted cost survives. It reduces the pipeline search space from
+// O(k^n) to O(n·k²) (Lemma 1) and never discards a subplan contained in the
+// optimal plan.
+type BoundaryPruner struct {
+	Model CostModel
+}
+
+// Prune applies boundary pruning to e using the model as the cost oracle.
+// Survivors carry their predicted cost in Vector.Cost.
+func (p BoundaryPruner) Prune(c *Context, e *Enumeration, st *Stats) {
+	if len(e.Vectors) == 0 {
+		return
+	}
+	// Model invocation is the dominant cost and every call is independent:
+	// fan the predictions out across the context's workers.
+	parallelFor(len(e.Vectors), c.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.Vectors[i].Cost = p.Model.Predict(e.Vectors[i].F)
+		}
+	})
+	if st != nil {
+		st.ModelCalls += len(e.Vectors)
+	}
+	if len(e.Vectors) == 1 {
+		return
+	}
+	type slot struct{ idx int }
+	byKey := make(map[uint64]slot)
+	var byStr map[string]slot
+	kept := e.Vectors[:0]
+	for _, v := range e.Vectors {
+		key, skey, packed := footprintKey(v.Assign, e.Boundary)
+		if packed {
+			if s, ok := byKey[key]; ok {
+				if v.Cost < kept[s.idx].Cost {
+					kept[s.idx] = v
+				}
+				if st != nil {
+					st.Pruned++
+				}
+				continue
+			}
+			byKey[key] = slot{idx: len(kept)}
+		} else {
+			if byStr == nil {
+				byStr = make(map[string]slot)
+			}
+			if s, ok := byStr[skey]; ok {
+				if v.Cost < kept[s.idx].Cost {
+					kept[s.idx] = v
+				}
+				if st != nil {
+					st.Pruned++
+				}
+				continue
+			}
+			byStr[skey] = slot{idx: len(kept)}
+		}
+		kept = append(kept, v)
+	}
+	e.Vectors = kept
+}
+
+// SwitchPruner implements TDGen's pruning heuristic (Section VI-A): discard
+// plans with more than Beta platform switches ("very unlikely to be an
+// optimal execution plan in practice") and, when MaxVectors > 0, keep at
+// most that many vectors, preferring fewer switches; ties resolve by
+// insertion order to stay deterministic.
+type SwitchPruner struct {
+	Beta       int
+	MaxVectors int
+}
+
+// Prune applies the platform-switch pruning to e.
+func (p SwitchPruner) Prune(c *Context, e *Enumeration, st *Stats) {
+	kept := e.Vectors[:0]
+	for _, v := range e.Vectors {
+		if c.Schema.Conversions(v.F) <= p.Beta {
+			kept = append(kept, v)
+		} else if st != nil {
+			st.Pruned++
+		}
+	}
+	if p.MaxVectors > 0 && len(kept) > p.MaxVectors {
+		sort.SliceStable(kept, func(i, j int) bool {
+			return c.Schema.Conversions(kept[i].F) < c.Schema.Conversions(kept[j].F)
+		})
+		if st != nil {
+			st.Pruned += len(kept) - p.MaxVectors
+		}
+		kept = kept[:p.MaxVectors]
+	}
+	e.Vectors = kept
+}
+
+// NoPruner keeps every vector (the exhaustive enumeration of Figure 9a).
+type NoPruner struct{}
+
+// Prune is a no-op.
+func (NoPruner) Prune(*Context, *Enumeration, *Stats) {}
+
+// GetOptimal predicts the runtime of every vector in e and returns the one
+// with the lowest prediction (Algorithm 1, line 18). Ties resolve to the
+// earliest vector for determinism.
+func GetOptimal(e *Enumeration, m CostModel, st *Stats) *Vector {
+	if len(e.Vectors) == 0 {
+		return nil
+	}
+	best := e.Vectors[0]
+	best.Cost = m.Predict(best.F)
+	if st != nil {
+		st.ModelCalls++
+	}
+	for _, v := range e.Vectors[1:] {
+		v.Cost = m.Predict(v.F)
+		if st != nil {
+			st.ModelCalls++
+		}
+		if v.Cost < best.Cost {
+			best = v
+		}
+	}
+	return best
+}
+
+// VectorizeExecution computes, in one pass, the plan vector of a complete
+// execution plan given its per-operator platform columns. It is
+// definitionally equal to merging all singleton vectors (property-tested)
+// and is what the Rheem-ML baseline must do from scratch on every model
+// invocation — the overhead Robopt's design eliminates.
+func (c *Context) VectorizeExecution(assign []uint8) *Vector {
+	s := c.Schema
+	v := &Vector{F: make([]float64, s.Len()), Assign: append([]uint8(nil), assign...)}
+	for _, o := range c.Plan.Ops {
+		c.addSingletonStructure(v.F, o)
+		c.addPlatformChoice(v.F, o, int(assign[o.ID]))
+	}
+	v.F[TopoPipeline] -= float64(c.totalFuses())
+	for _, e := range c.edges {
+		pa, pb := assign[e.From], assign[e.To]
+		if pa != pb {
+			card := c.convCard(e)
+			v.F[s.MovePlatformCell(int(pa))]++
+			v.F[s.MovePlatformCell(int(pb))]++
+			v.F[s.MoveInCardCell()] += card
+			v.F[s.MoveOutCardCell()] += card
+		}
+	}
+	v.F[s.DatasetCell()] = c.Plan.AvgTupleBytes
+	return v
+}

@@ -1,0 +1,31 @@
+package core
+
+import "sync"
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn on each chunk
+// from its own goroutine. With workers ≤ 1 (or a small n) it runs inline.
+// Chunks are contiguous so callers can write into pre-sized result slices
+// without synchronization and with deterministic placement.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

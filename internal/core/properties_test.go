@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestPropertyPrunerDegeneratesToBoundary(t *testing.T) {
+	l := workload.Pipeline(8, 1e7)
+	m := newLinModel(core.MustSchema(platform.Subset(3)).Len(), 41)
+
+	a := newCtx(t, l, 3)
+	boundaryRes, err := a.OptimizeOpts(m, core.BoundaryPruner{Model: m}, core.OrderPriority)
+	if err != nil {
+		t.Fatalf("boundary: %v", err)
+	}
+	b := newCtx(t, l, 3)
+	propRes, err := b.OptimizeOpts(m, core.PropertyPruner{Model: m}, core.OrderPriority)
+	if err != nil {
+		t.Fatalf("property: %v", err)
+	}
+	if math.Abs(boundaryRes.Predicted-propRes.Predicted) > 1e-9*boundaryRes.Predicted {
+		t.Fatalf("empty property set changed the optimum: %g vs %g", boundaryRes.Predicted, propRes.Predicted)
+	}
+	if boundaryRes.Stats != propRes.Stats {
+		t.Fatalf("empty property set changed the enumeration: %+v vs %+v", boundaryRes.Stats, propRes.Stats)
+	}
+}
+
+func TestPropertyPrunerRetainsAlternatives(t *testing.T) {
+	l := workload.RunningExample()
+	ctx := newCtx(t, l, 3)
+	m := newLinModel(ctx.Schema.Len(), 42)
+
+	var stPlain core.Stats
+	plain, err := ctx.EnumerateFull(core.BoundaryPruner{Model: m}, core.OrderPriority, &stPlain)
+	if err != nil {
+		t.Fatalf("EnumerateFull: %v", err)
+	}
+	var stProp core.Stats
+	withProp, err := ctx.EnumerateFull(core.PropertyPruner{
+		Model:      m,
+		Properties: []core.Property{core.PlatformSetProperty{}},
+	}, core.OrderPriority, &stProp)
+	if err != nil {
+		t.Fatalf("EnumerateFull with property: %v", err)
+	}
+	if withProp.Size() <= plain.Size() {
+		t.Errorf("property pruning kept %d plans, boundary-only kept %d — expected more alternatives",
+			withProp.Size(), plain.Size())
+	}
+	// Every surviving plan covers the whole query.
+	for _, v := range withProp.Vectors {
+		if v.Scope(l.NumOps()).Count() != l.NumOps() {
+			t.Fatal("partial plan in final enumeration")
+		}
+	}
+	// Distinct platform sets survive: at least the three single-platform
+	// plans plus mixed ones.
+	seen := map[uint64]bool{}
+	for _, v := range withProp.Vectors {
+		seen[core.PlatformSetProperty{}.Key(ctx, v)] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct platform sets survived", len(seen))
+	}
+}
+
+func TestSwitchCountPropertyKeepsLowSwitchPlan(t *testing.T) {
+	l := workload.Pipeline(7, 1e7)
+	ctx := newCtx(t, l, 2)
+	m := newLinModel(ctx.Schema.Len(), 43)
+	final, err := ctx.EnumerateFull(core.PropertyPruner{
+		Model:      m,
+		Properties: []core.Property{core.SwitchCountProperty{}},
+	}, core.OrderPriority, nil)
+	if err != nil {
+		t.Fatalf("EnumerateFull: %v", err)
+	}
+	minSwitches := 1 << 30
+	for _, v := range final.Vectors {
+		if s := ctx.Schema.Conversions(v.F); s < minSwitches {
+			minSwitches = s
+		}
+	}
+	if minSwitches != 0 {
+		t.Errorf("no zero-switch plan survived (min %d)", minSwitches)
+	}
+}
+
+func TestLoopPlatformPropertyKeys(t *testing.T) {
+	l := workload.Kmeans(1e8, workload.DefaultKmeans)
+	ctx := newCtx(t, l, 2)
+	e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	prop := core.LoopPlatformProperty{}
+	keys := map[uint64]bool{}
+	for _, v := range e.Vectors {
+		keys[prop.Key(ctx, v)] = true
+	}
+	// Loop ops on 2 platforms: keys are the nonempty subsets {1},{2},{1,2}.
+	if len(keys) != 3 {
+		t.Errorf("loop platform keys = %d, want 3", len(keys))
+	}
+	if prop.Name() == "" || (core.SwitchCountProperty{}).Name() == "" || (core.PlatformSetProperty{}).Name() == "" {
+		t.Error("properties must be named")
+	}
+}

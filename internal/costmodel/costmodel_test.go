@@ -1,0 +1,174 @@
+package costmodel_test
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+func TestWellTunedTracksSimulatorOnSimplePlans(t *testing.T) {
+	c := simulator.Default()
+	m := costmodel.WellTuned(c, 100)
+	avail := platform.DefaultAvailability()
+	// On plain pipelines without special effects, the calibrated linear
+	// model should land within a small factor of the simulator.
+	for _, mb := range []float64{10, 100, 1000} {
+		l := workload.WordCount(mb * workload.MB)
+		for _, p := range []platform.ID{platform.Spark, platform.Flink} {
+			r, err := c.RunAllOn(l, p, avail)
+			if err != nil {
+				t.Fatalf("RunAllOn: %v", err)
+			}
+			assign := make([]platform.ID, l.NumOps())
+			for i := range assign {
+				assign[i] = p
+			}
+			x, err := plan.NewExecution(l, assign)
+			if err != nil {
+				t.Fatalf("NewExecution: %v", err)
+			}
+			est := m.EstimateExecution(x)
+			if est < r.Runtime/4 || est > r.Runtime*4 {
+				t.Errorf("%s %gMB: estimate %g vs simulated %g (off by >4x)", p, mb, est, r.Runtime)
+			}
+		}
+	}
+}
+
+// TestWellTunedRanksCrossover: the calibrated model must reproduce the basic
+// Java-small/Spark-large crossover — that is what "well-tuned" means in
+// Figure 2.
+func TestWellTunedRanksCrossover(t *testing.T) {
+	c := simulator.Default()
+	m := costmodel.WellTuned(c, 100)
+	est := func(l *plan.Logical, p platform.ID) float64 {
+		assign := make([]platform.ID, l.NumOps())
+		for i := range assign {
+			assign[i] = p
+		}
+		x, err := plan.NewExecution(l, assign)
+		if err != nil {
+			t.Fatalf("NewExecution: %v", err)
+		}
+		return m.EstimateExecution(x)
+	}
+	small := workload.WordCount(10 * workload.MB)
+	if est(small, platform.Java) >= est(small, platform.Spark) {
+		t.Error("well-tuned model does not prefer Java for 10MB WordCount")
+	}
+	large := workload.WordCount(6 * workload.GB)
+	if est(large, platform.Spark) >= est(large, platform.Java) {
+		t.Error("well-tuned model does not prefer Spark for 6GB WordCount")
+	}
+}
+
+// TestSimplyTunedMisranksAtScale: single-point profiling must produce
+// materially different (worse) platform rankings somewhere in the grid —
+// the Figure 2 effect.
+func TestSimplyTunedMisranksAtScale(t *testing.T) {
+	c := simulator.Default()
+	well := costmodel.WellTuned(c, 100)
+	simply := costmodel.SimplyTuned(c, 100)
+	avail := platform.DefaultAvailability()
+	cands := []platform.ID{platform.Java, platform.Spark, platform.Flink}
+
+	disagreements := 0
+	regressions := 0
+	for _, q := range workload.Catalog() {
+		l := q.Build(q.MaxBytes / 100)
+		choose := func(m *costmodel.Model) platform.ID {
+			best, bestCost := platform.ID(0), 0.0
+			found := false
+			for _, p := range cands {
+				ok := true
+				for _, o := range l.Ops {
+					if !avail.Has(o.Kind, p) {
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				assign := make([]platform.ID, l.NumOps())
+				for i := range assign {
+					assign[i] = p
+				}
+				x, _ := plan.NewExecution(l, assign)
+				cost := m.EstimateExecution(x)
+				if !found || cost < bestCost {
+					best, bestCost, found = p, cost, true
+				}
+			}
+			return best
+		}
+		wp, sp := choose(well), choose(simply)
+		if wp != sp {
+			disagreements++
+			rw, errW := c.RunAllOn(l, wp, avail)
+			rs, errS := c.RunAllOn(l, sp, avail)
+			if errW == nil && errS == nil && rs.Runtime > rw.Runtime {
+				regressions++
+			}
+		}
+	}
+	if disagreements == 0 {
+		t.Error("simply-tuned model never disagrees with well-tuned — Figure 2 cannot reproduce")
+	}
+	if regressions == 0 {
+		t.Error("simply-tuned disagreements never hurt runtime")
+	}
+}
+
+func TestConversionCostCalibration(t *testing.T) {
+	c := simulator.Default()
+	m := costmodel.WellTuned(c, 100)
+	for _, card := range []float64{1e3, 1e5, 1e7} {
+		est := m.ConversionCost(card)
+		real := c.ConversionCost(card)
+		if est < real*0.5 || est > real*2 {
+			t.Errorf("conversion estimate at %g tuples: %g vs %g", card, est, real)
+		}
+	}
+	simply := costmodel.SimplyTuned(c, 100)
+	if simply.ConversionCost(1e7) >= m.ConversionCost(1e7) {
+		t.Error("simply-tuned should underprice large conversions")
+	}
+}
+
+func TestEstimateExecutionAccountsForLoops(t *testing.T) {
+	c := simulator.Default()
+	m := costmodel.WellTuned(c, 100)
+	short := workload.Kmeans(100*workload.MB, workload.KmeansParams{Centroids: 10, Iterations: 2})
+	long := workload.Kmeans(100*workload.MB, workload.KmeansParams{Centroids: 10, Iterations: 50})
+	cost := func(l *plan.Logical) float64 {
+		assign := make([]platform.ID, l.NumOps())
+		for i := range assign {
+			assign[i] = platform.Spark
+		}
+		x, err := plan.NewExecution(l, assign)
+		if err != nil {
+			t.Fatalf("NewExecution: %v", err)
+		}
+		return m.EstimateExecution(x)
+	}
+	if cost(long) <= cost(short)*2 {
+		t.Errorf("loop iterations barely change the estimate: %g vs %g", cost(short), cost(long))
+	}
+}
+
+func TestUDFScaleOrdering(t *testing.T) {
+	c := simulator.Default()
+	m := costmodel.WellTuned(c, 100)
+	prev := -1.0
+	for cl := platform.Logarithmic; cl <= platform.SuperQuadratic; cl++ {
+		cost := m.OpCost(platform.Java, platform.Map, cl, 1e6, 1e6)
+		if cost <= prev {
+			t.Errorf("cost not increasing with UDF complexity at %v: %g after %g", cl, cost, prev)
+		}
+		prev = cost
+	}
+}

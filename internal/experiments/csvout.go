@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/platform"
+)
+
+// CSV export: each experiment's rows in a machine-readable form, so the
+// figures can be re-plotted outside Go. cmd/benchharness wires these to its
+// -csv flag.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Fig1CSV writes the Figure 1 rows.
+func Fig1CSV(w io.Writer, rows []Fig1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Task, strconv.Itoa(r.Operators), f(r.TraditionalMs), f(r.VectorMs), f(r.Factor)}
+	}
+	return writeCSV(w, []string{"task", "operators", "traditional_ms", "vector_ms", "factor"}, out)
+}
+
+// Fig2CSV writes the Figure 2 rows.
+func Fig2CSV(w io.Writer, rows []Fig2Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Query, r.Input, f(r.WellTunedSec), f(r.SimplySec)}
+	}
+	return writeCSV(w, []string{"query", "input", "well_tuned_sec", "simply_tuned_sec"}, out)
+}
+
+// Table1CSV writes the Table I rows.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Operators), strconv.Itoa(r.Platforms),
+			strconv.Itoa(r.WithPruning), f(r.WithoutPruning), strconv.FormatBool(r.Measured),
+		}
+	}
+	return writeCSV(w, []string{"operators", "platforms", "with_pruning", "without_pruning", "measured"}, out)
+}
+
+// Fig8CSV writes the Figure 8 rows.
+func Fig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{f(r.Cardinality), f(r.Actual), f(r.Interpolated), strconv.FormatBool(r.TrainingPt)}
+	}
+	return writeCSV(w, []string{"cardinality", "actual_sec", "interpolated_sec", "training_point"}, out)
+}
+
+// Fig9CSV writes one Figure 9 panel.
+func Fig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Operators), strconv.Itoa(r.Platforms),
+			f(r.ExhaustiveMs), f(r.RheemixMs), f(r.RheemMLMs), f(r.RoboptMs),
+		}
+	}
+	return writeCSV(w, []string{"operators", "platforms", "exhaustive_ms", "rheemix_ms", "rheem_ml_ms", "robopt_ms"}, out)
+}
+
+// Fig10CSV writes the Figure 10 rows.
+func Fig10CSV(w io.Writer, rows []Fig10Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Joins), strconv.Itoa(r.Platforms),
+			f(r.PriorityMs), f(r.TopDownMs), f(r.BottomUpMs),
+		}
+	}
+	return writeCSV(w, []string{"joins", "platforms", "priority_ms", "top_down_ms", "bottom_up_ms"}, out)
+}
+
+// Fig11CSV writes the Figure 11 grid.
+func Fig11CSV(w io.Writer, points []Fig11Point) error {
+	header := []string{"query", "bytes"}
+	for _, p := range singleModePlatforms {
+		header = append(header, fmt.Sprintf("%s_sec", p))
+	}
+	header = append(header, "rheemix", "robopt", "fastest")
+	out := make([][]string, len(points))
+	for i, pt := range points {
+		row := []string{pt.Query, f(pt.Bytes)}
+		for _, p := range singleModePlatforms {
+			row = append(row, f(pt.Runtimes[p]))
+		}
+		row = append(row, pt.Rheemix.String(), pt.Robopt.String(), pt.Fastest.String())
+		out[i] = row
+	}
+	return writeCSV(w, header, out)
+}
+
+// Table3CSV writes the Table III rows.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Query, f(r.RheemixMax), f(r.RheemixAvg), f(r.RoboptMax), f(r.RoboptAvg)}
+	}
+	return writeCSV(w, []string{"query", "rheemix_max", "rheemix_avg", "robopt_max", "robopt_avg"}, out)
+}
+
+// Fig12CSV writes the Figure 12 rows.
+func Fig12CSV(w io.Writer, rows []Fig12Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Query, r.Param,
+			r.Single[platform.Java], r.Single[platform.Spark], r.Single[platform.Flink],
+			f(r.RheemixRT), f(r.RoboptRT), r.RheemixLb, r.RoboptLb,
+		}
+	}
+	return writeCSV(w, []string{
+		"query", "param", "java", "spark", "flink",
+		"rheemix_sec", "robopt_sec", "rheemix_label", "robopt_label",
+	}, out)
+}
+
+// Fig13CSV writes the Figure 13 rows.
+func Fig13CSV(w io.Writer, rows []Fig13Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{f(r.Bytes), r.PostgresRT, r.RheemixLb, r.RoboptLb}
+	}
+	return writeCSV(w, []string{"bytes", "postgres", "rheemix", "robopt"}, out)
+}

@@ -1,0 +1,119 @@
+package experiments_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parsing CSV: %v", err)
+	}
+	return rows
+}
+
+func TestFig1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []experiments.Fig1Row{{Task: "WordCount", Operators: 6, TraditionalMs: 2, VectorMs: 1, Factor: 2}}
+	if err := experiments.Fig1CSV(&buf, rows); err != nil {
+		t.Fatalf("Fig1CSV: %v", err)
+	}
+	got := parseCSV(t, &buf)
+	if len(got) != 2 || got[1][0] != "WordCount" || got[1][4] != "2" {
+		t.Fatalf("unexpected CSV: %v", got)
+	}
+}
+
+func TestFig9And10CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.Fig9CSV(&buf, []experiments.Fig9Row{
+		{Operators: 80, Platforms: 5, ExhaustiveMs: -1, RheemixMs: 8.9, RheemMLMs: -1, RoboptMs: 3.8},
+	}); err != nil {
+		t.Fatalf("Fig9CSV: %v", err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][0] != "80" || got[1][5] != "3.8" {
+		t.Fatalf("unexpected CSV: %v", got)
+	}
+
+	buf.Reset()
+	if err := experiments.Fig10CSV(&buf, []experiments.Fig10Row{
+		{Joins: 5, Platforms: 5, PriorityMs: 3, TopDownMs: 2233, BottomUpMs: 1.6},
+	}); err != nil {
+		t.Fatalf("Fig10CSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "2233") {
+		t.Fatalf("Fig10 CSV missing value: %s", buf.String())
+	}
+}
+
+func TestFig11AndTablesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pt := experiments.Fig11Point{
+		Query: "WordCount", Bytes: 3e9,
+		Runtimes: map[platform.ID]float64{platform.Java: 1, platform.Spark: 2, platform.Flink: 3},
+		Labels:   map[platform.ID]string{},
+		Rheemix:  platform.Spark, Robopt: platform.Java, Fastest: platform.Java,
+	}
+	if err := experiments.Fig11CSV(&buf, []experiments.Fig11Point{pt}); err != nil {
+		t.Fatalf("Fig11CSV: %v", err)
+	}
+	got := parseCSV(t, &buf)
+	if got[1][0] != "WordCount" || got[1][len(got[1])-1] != "Java" {
+		t.Fatalf("unexpected CSV: %v", got)
+	}
+
+	buf.Reset()
+	if err := experiments.Table1CSV(&buf, []experiments.Table1Row{
+		{Operators: 5, Platforms: 2, WithPruning: 26, WithoutPruning: 70, Measured: true},
+	}); err != nil {
+		t.Fatalf("Table1CSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "26,70,true") {
+		t.Fatalf("Table1 CSV: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := experiments.Table3CSV(&buf, []experiments.Table3Row{{Query: "SGD", RoboptMax: 1}}); err != nil {
+		t.Fatalf("Table3CSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "SGD") {
+		t.Fatalf("Table3 CSV: %s", buf.String())
+	}
+}
+
+func TestFig2_8_12_13CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.Fig2CSV(&buf, []experiments.Fig2Row{{Query: "SGD", Input: "7.4GB", WellTunedSec: 67, SimplySec: 67}}); err != nil {
+		t.Fatalf("Fig2CSV: %v", err)
+	}
+	buf.Reset()
+	if err := experiments.Fig8CSV(&buf, []experiments.Fig8Row{{Cardinality: 1e5, Actual: 6, Interpolated: 6, TrainingPt: true}}); err != nil {
+		t.Fatalf("Fig8CSV: %v", err)
+	}
+	buf.Reset()
+	if err := experiments.Fig12CSV(&buf, []experiments.Fig12Row{{
+		Query: "K-means", Param: "#centroids=10",
+		Single:    map[platform.ID]string{platform.Java: "1s", platform.Spark: "2s", platform.Flink: "3s"},
+		RheemixRT: 26.3, RoboptRT: 26.3, RheemixLb: "a", RoboptLb: "b",
+	}}); err != nil {
+		t.Fatalf("Fig12CSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "K-means") {
+		t.Fatalf("Fig12 CSV: %s", buf.String())
+	}
+	buf.Reset()
+	if err := experiments.Fig13CSV(&buf, []experiments.Fig13Row{{Bytes: 1e10, PostgresRT: "34.1s", RheemixLb: "x", RoboptLb: "y"}}); err != nil {
+		t.Fatalf("Fig13CSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "34.1s") {
+		t.Fatalf("Fig13 CSV: %s", buf.String())
+	}
+}

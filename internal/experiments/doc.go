@@ -1,0 +1,11 @@
+package experiments
+
+// This file intentionally holds only package-level documentation helpers.
+
+// ExperimentIDs lists the identifiers accepted by cmd/benchharness, in the
+// order the paper presents them.
+var ExperimentIDs = []string{
+	"fig1", "fig2", "table1", "table2", "fig8",
+	"fig9a", "fig9b", "fig9c", "fig9d", "fig10",
+	"fig11", "table3", "fig12", "fig13",
+}

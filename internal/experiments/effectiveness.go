@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/tdgen"
+	"repro/internal/workload"
+)
+
+// singleModePlatforms are the execution platforms compared in the
+// single-platform experiments (the bars of Figure 11).
+var singleModePlatforms = []platform.ID{platform.Java, platform.Spark, platform.Flink}
+
+// Fig2Row is one query of Figure 2: simulated runtime of the plan chosen by
+// the well-tuned vs. the simply-tuned cost model.
+type Fig2Row struct {
+	Query        string
+	Input        string
+	WellTunedSec float64
+	SimplySec    float64
+	WellLabel    string // includes OOM/abort annotations
+	SimplyLabel  string
+}
+
+// Figure2 reproduces Figure 2: the impact of cost-model tuning. Both models
+// drive the same RHEEMix optimizer; only the coefficients differ.
+func (h *Harness) Figure2() ([]Fig2Row, error) {
+	cases := []struct {
+		name, input string
+		l           *plan.Logical
+	}{
+		{"SGD", "7.4GB input", workload.SGD(7.4*workload.GB, workload.DefaultSGD)},
+		{"Word2NVec", "30MB input", workload.Word2NVec(30 * workload.MB)},
+		{"Aggregate", "200GB input", workload.Aggregate(200 * workload.GB)},
+		{"CrocoPR", "2GB input", workload.CrocoPR(2*workload.GB, workload.DefaultCrocoPR)},
+	}
+	plats := platform.All()
+	avail := platform.DefaultAvailability()
+	var rows []Fig2Row
+	for _, cs := range cases {
+		well, err := SinglePlatformChoice(cs.l, singleModePlatforms, avail, CostSingleScore(h.WellTuned()))
+		if err != nil {
+			return nil, err
+		}
+		simply, err := SinglePlatformChoice(cs.l, singleModePlatforms, avail, CostSingleScore(h.SimplyTuned()))
+		if err != nil {
+			return nil, err
+		}
+		_ = plats
+		rw, err := h.Cluster.RunAllOn(cs.l, well, avail)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := h.Cluster.RunAllOn(cs.l, simply, avail)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2Row{
+			Query: cs.name, Input: cs.input,
+			WellTunedSec: rw.Runtime, SimplySec: rs.Runtime,
+			WellLabel:   fmt.Sprintf("%s (%s)", rw.Label(), well),
+			SimplyLabel: fmt.Sprintf("%s (%s)", rs.Label(), simply),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig2 prints Figure 2.
+func RenderFig2(rows []Fig2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: Impact of a well-tuned cost model (single-platform choice)\n")
+	sb.WriteString("query       input         well-tuned            simply-tuned\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %-12s  %-20s  %-20s\n", r.Query, r.Input, r.WellLabel, r.SimplyLabel)
+	}
+	return sb.String()
+}
+
+// Table2 returns the query/dataset inventory (Table II).
+func Table2() []workload.Query { return workload.Catalog() }
+
+// RenderTable2 prints Table II.
+func RenderTable2(rows []workload.Query) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: Real queries and datasets\n")
+	sb.WriteString("query       description                  #operators  dataset (size)\n")
+	for _, q := range rows {
+		fmt.Fprintf(&sb, "%-11s %-28s %10d  %s (%s - %s)\n",
+			q.Name, q.Description, q.Operators, q.Dataset, fmtBytes(q.MinBytes), fmtBytes(q.MaxBytes))
+	}
+	return sb.String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= workload.TB:
+		return fmt.Sprintf("%gTB", b/workload.TB)
+	case b >= workload.GB:
+		return fmt.Sprintf("%gGB", b/workload.GB)
+	case b >= workload.MB:
+		return fmt.Sprintf("%gMB", b/workload.MB)
+	default:
+		return fmt.Sprintf("%gB", b)
+	}
+}
+
+// fig11Sizes lists the dataset sizes (bytes) per query, following the x-axes
+// of Figure 11. The terabyte points exercise the OOM and abort paths.
+var fig11Sizes = map[string][]float64{
+	"WordCount": {0.03 * workload.GB, 0.3 * workload.GB, 1.5 * workload.GB, 3 * workload.GB, 6 * workload.GB, 24 * workload.GB, 1 * workload.TB},
+	"Word2NVec": {3 * workload.MB, 30 * workload.MB, 60 * workload.MB, 90 * workload.MB, 150 * workload.MB},
+	"SimWords":  {3 * workload.MB, 30 * workload.MB, 60 * workload.MB, 90 * workload.MB, 150 * workload.MB},
+	"TPC-H Q1":  {1 * workload.GB, 10 * workload.GB, 100 * workload.GB, 200 * workload.GB, 1 * workload.TB},
+	"TPC-H Q3":  {1 * workload.GB, 10 * workload.GB, 100 * workload.GB, 200 * workload.GB, 1 * workload.TB},
+	"Kmeans":    {36 * workload.MB, 361 * workload.MB, 3610 * workload.MB, 1 * workload.TB},
+	"SGD":       {0.74 * workload.GB, 1.85 * workload.GB, 3.7 * workload.GB, 7.4 * workload.GB, 14.8 * workload.GB, 1 * workload.TB},
+	"CrocoPR":   {0.2 * workload.GB, 1 * workload.GB, 5 * workload.GB, 10 * workload.GB, 20 * workload.GB, 1 * workload.TB},
+}
+
+// Fig11Point is one dataset size of one query in Figure 11: the runtime of
+// each platform plus the platforms chosen by RHEEMix and Robopt.
+type Fig11Point struct {
+	Query string
+	Bytes float64
+	// Runtime per platform, +Inf for OOM; Labels carry annotations.
+	Runtimes map[platform.ID]float64
+	Labels   map[platform.ID]string
+	Rheemix  platform.ID
+	Robopt   platform.ID
+	// Fastest is the platform with the lowest simulated runtime.
+	Fastest platform.ID
+}
+
+// Figure11 reproduces the single-platform execution mode experiment for all
+// Table II queries.
+func (h *Harness) Figure11() ([]Fig11Point, error) {
+	avail := platform.DefaultAvailability()
+	plats := platform.All()
+	var points []Fig11Point
+	for _, q := range workload.Catalog() {
+		sizes := fig11Sizes[q.Name]
+		for _, bytes := range sizes {
+			l := q.Build(bytes)
+			pt := Fig11Point{
+				Query:    q.Name,
+				Bytes:    bytes,
+				Runtimes: map[platform.ID]float64{},
+				Labels:   map[platform.ID]string{},
+			}
+			bestRT := math.Inf(1)
+			for _, p := range singleModePlatforms {
+				r, err := h.Cluster.RunAllOn(l, p, avail)
+				if err != nil {
+					return nil, err
+				}
+				pt.Runtimes[p] = r.Runtime
+				pt.Labels[p] = r.Label()
+				if r.Runtime < bestRT {
+					bestRT = r.Runtime
+					pt.Fastest = p
+				}
+			}
+			var err error
+			pt.Rheemix, err = SinglePlatformChoice(l, singleModePlatforms, avail, CostSingleScore(h.WellTuned()))
+			if err != nil {
+				return nil, err
+			}
+			score, err := h.RoboptSingleScore(l, plats, avail)
+			if err != nil {
+				return nil, err
+			}
+			pt.Robopt, err = SinglePlatformChoice(l, singleModePlatforms, avail, score)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// RenderFig11 prints the Figure 11 grid.
+func RenderFig11(points []Fig11Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: Single-platform execution mode\n")
+	sb.WriteString("query       size        Java            Spark           Flink           rheemix   robopt    fastest\n")
+	for _, pt := range points {
+		fmt.Fprintf(&sb, "%-11s %-10s  %-14s  %-14s  %-14s  %-8s  %-8s  %-8s\n",
+			pt.Query, fmtBytes(pt.Bytes),
+			pt.Labels[platform.Java], pt.Labels[platform.Spark], pt.Labels[platform.Flink],
+			pt.Rheemix, pt.Robopt, pt.Fastest)
+	}
+	// Success rates, as reported in Section VII-C1 (84% vs 43%).
+	total, rx, rb := 0, 0, 0
+	for _, pt := range points {
+		total++
+		if pt.Rheemix == pt.Fastest {
+			rx++
+		}
+		if pt.Robopt == pt.Fastest {
+			rb++
+		}
+	}
+	fmt.Fprintf(&sb, "fastest-platform hit rate: robopt %d/%d (%.0f%%), rheemix %d/%d (%.0f%%)\n",
+		rb, total, 100*float64(rb)/float64(total), rx, total, 100*float64(rx)/float64(total))
+	return sb.String()
+}
+
+// Table3Row summarizes Figure 11 per query: max and average runtime
+// difference from the optimal platform choice (Table III).
+type Table3Row struct {
+	Query                  string
+	RheemixMax, RheemixAvg float64
+	RoboptMax, RoboptAvg   float64
+}
+
+// Table3 derives Table III from the Figure 11 grid. Failed runs (OOM,
+// abort) count as twice the timeout, mirroring how the paper's diffs blow up
+// when a bad platform is chosen.
+func (h *Harness) Table3(points []Fig11Point) []Table3Row {
+	perQuery := map[string][]Fig11Point{}
+	var order []string
+	for _, pt := range points {
+		if _, ok := perQuery[pt.Query]; !ok {
+			order = append(order, pt.Query)
+		}
+		perQuery[pt.Query] = append(perQuery[pt.Query], pt)
+	}
+	clamp := func(v float64) float64 {
+		if math.IsInf(v, 1) {
+			return 2 * h.Cluster.Timeout
+		}
+		return v
+	}
+	var rows []Table3Row
+	for _, q := range order {
+		row := Table3Row{Query: q}
+		n := 0.0
+		for _, pt := range perQuery[q] {
+			best := clamp(pt.Runtimes[pt.Fastest])
+			dx := clamp(pt.Runtimes[pt.Rheemix]) - best
+			db := clamp(pt.Runtimes[pt.Robopt]) - best
+			row.RheemixAvg += dx
+			row.RoboptAvg += db
+			if dx > row.RheemixMax {
+				row.RheemixMax = dx
+			}
+			if db > row.RoboptMax {
+				row.RoboptMax = db
+			}
+			n++
+		}
+		row.RheemixAvg /= n
+		row.RoboptAvg /= n
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable3 prints Table III.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table III: Runtime difference from the optimal platform (seconds)\n")
+	sb.WriteString("query        rheemix max  rheemix avg  robopt max  robopt avg\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %11.1f  %11.1f  %10.1f  %10.1f\n",
+			r.Query, r.RheemixMax, r.RheemixAvg, r.RoboptMax, r.RoboptAvg)
+	}
+	return sb.String()
+}
+
+// Fig12Row is one configuration of the multi-platform experiment: the
+// runtimes of the single-platform executions and of the two optimizers'
+// chosen (possibly multi-platform) plans.
+type Fig12Row struct {
+	Query     string
+	Param     string // e.g. "#centroids=100"
+	Single    map[platform.ID]string
+	RheemixRT float64
+	RoboptRT  float64
+	RheemixLb string // runtime + platform combination label
+	RoboptLb  string
+}
+
+// Figure12 reproduces the multiple-platform execution mode experiment:
+// K-means over #centroids, SGD over batch size, and CrocoPR (HDFS and
+// Postgres variants) over iterations.
+func (h *Harness) Figure12() ([]Fig12Row, error) {
+	type cse struct {
+		query, param string
+		l            *plan.Logical
+	}
+	var cases []cse
+	for _, c := range []int{10, 100, 1000} {
+		cases = append(cases, cse{"K-means", fmt.Sprintf("#centroids=%d", c),
+			workload.Kmeans(1*workload.GB, workload.KmeansParams{Centroids: c, Iterations: 10})})
+	}
+	for _, b := range []int{1, 100, 1000} {
+		cases = append(cases, cse{"SGD", fmt.Sprintf("batch=%d", b),
+			workload.SGD(7.4*workload.GB, workload.SGDParams{BatchSize: b, Iterations: 50})})
+	}
+	for _, it := range []int{1, 10, 100} {
+		cases = append(cases, cse{"CrocoPR-HDFS", fmt.Sprintf("#iterations=%d", it),
+			workload.CrocoPR(2*workload.GB, workload.CrocoPRParams{Iterations: it})})
+	}
+	for _, it := range []int{1, 10, 100} {
+		cases = append(cases, cse{"CrocoPR-PG", fmt.Sprintf("#iterations=%d", it),
+			workload.CrocoPR(2*workload.GB, workload.CrocoPRParams{Iterations: it, InPostgres: true})})
+	}
+
+	plats := platform.All()
+	var rows []Fig12Row
+	for _, cs := range cases {
+		avail := platform.DefaultAvailability()
+		if cs.query == "CrocoPR-PG" {
+			// The DBpedia dump resides in Postgres: the table scan
+			// cannot run anywhere else.
+			avail = avail.Only(platform.TableSource, platform.Postgres)
+		}
+		row := Fig12Row{Query: cs.query, Param: cs.param, Single: map[platform.ID]string{}}
+		for _, p := range singleModePlatforms {
+			r, err := h.Cluster.RunAllOn(cs.l, p, avail)
+			if err != nil {
+				row.Single[p] = "n/a"
+				continue
+			}
+			row.Single[p] = r.Label()
+		}
+		rb, err := h.RoboptOptimize(cs.l, plats, avail)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := h.RheemixOptimize(cs.l, plats, avail)
+		if err != nil {
+			return nil, err
+		}
+		rbRes := h.Cluster.Run(rb.Execution)
+		rxRes := h.Cluster.Run(rx.Execution)
+		row.RoboptRT = rbRes.Runtime
+		row.RheemixRT = rxRes.Runtime
+		row.RoboptLb = fmt.Sprintf("%s (%s)", rbRes.Label(), rb.Execution.PlatformLabel())
+		row.RheemixLb = fmt.Sprintf("%s (%s)", rxRes.Label(), rx.Execution.PlatformLabel())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig12 prints Figure 12.
+func RenderFig12(rows []Fig12Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12: Multiple-platform execution mode\n")
+	sb.WriteString("query         param             Java         Spark        Flink        rheemix                     robopt\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-13s %-16s  %-11s  %-11s  %-11s  %-26s  %s\n",
+			r.Query, r.Param,
+			r.Single[platform.Java], r.Single[platform.Spark], r.Single[platform.Flink],
+			r.RheemixLb, r.RoboptLb)
+	}
+	return sb.String()
+}
+
+// Fig13Row is one dataset size of the Postgres-resident Join experiment.
+type Fig13Row struct {
+	Bytes      float64
+	PostgresRT string
+	RheemixLb  string
+	RoboptLb   string
+}
+
+// Figure13 reproduces the Join query with data resident in Postgres: the
+// optimizers may push relational work into Postgres and move the rest to a
+// parallel platform, which the paper measures at up to 2.5x faster than
+// running everything inside Postgres.
+func (h *Harness) Figure13() ([]Fig13Row, error) {
+	avail := platform.DefaultAvailability().Only(platform.TableSource, platform.Postgres)
+	plats := platform.All()
+	var rows []Fig13Row
+	for _, gb := range []float64{10, 100} {
+		l := workload.Join(gb * workload.GB)
+		pg, err := h.Cluster.RunAllOn(l, platform.Postgres, avail)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := h.RoboptOptimize(l, plats, avail)
+		if err != nil {
+			return nil, err
+		}
+		rx, err := h.RheemixOptimize(l, plats, avail)
+		if err != nil {
+			return nil, err
+		}
+		rbRes := h.Cluster.Run(rb.Execution)
+		rxRes := h.Cluster.Run(rx.Execution)
+		rows = append(rows, Fig13Row{
+			Bytes:      gb * workload.GB,
+			PostgresRT: pg.Label(),
+			RheemixLb:  fmt.Sprintf("%s (%s)", rxRes.Label(), rx.Execution.PlatformLabel()),
+			RoboptLb:   fmt.Sprintf("%s (%s)", rbRes.Label(), rb.Execution.PlatformLabel()),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig13 prints Figure 13.
+func RenderFig13(rows []Fig13Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13: Join query with data resident in Postgres\n")
+	sb.WriteString("size     postgres      rheemix                      robopt\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-12s  %-27s  %s\n", fmtBytes(r.Bytes), r.PostgresRT, r.RheemixLb, r.RoboptLb)
+	}
+	return sb.String()
+}
+
+// Fig8Row is one cardinality of the interpolation demonstration (Figure 8).
+type Fig8Row struct {
+	Cardinality  float64
+	Actual       float64
+	Interpolated float64
+	TrainingPt   bool
+}
+
+// Figure8 reproduces the TDGen interpolation demonstration: a 6-operator
+// pipeline executed at a subset of cardinalities, with the remaining
+// runtimes imputed by the piecewise degree-5 interpolation.
+func (h *Harness) Figure8() ([]Fig8Row, error) {
+	avail := platform.UniformAvailability(2)
+	grid := []float64{1e5, 1e6, 2.5e6, 5e6, 7.5e6, 1e7, 1.25e7, 1.5e7, 1.75e7, 2e7}
+	training := map[int]bool{0: true, 1: true, 3: true, 5: true, 7: true, 9: true}
+
+	var xs, ys []float64
+	actual := make([]float64, len(grid))
+	for i, card := range grid {
+		l := workload.Pipeline(6, card*100) // tupleBytes=100 in Pipeline
+		r, err := h.Cluster.RunAllOn(l, platform.Spark, avail)
+		if err != nil {
+			return nil, err
+		}
+		actual[i] = r.Runtime
+		if training[i] {
+			xs = append(xs, math.Log(card))
+			ys = append(ys, math.Log1p(r.Runtime))
+		}
+	}
+	interp, err := newLogInterp(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for i, card := range grid {
+		rows = append(rows, Fig8Row{
+			Cardinality:  card,
+			Actual:       actual[i],
+			Interpolated: interp(card),
+			TrainingPt:   training[i],
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig8 prints Figure 8.
+func RenderFig8(rows []Fig8Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: Interpolation to predict job runtimes\n")
+	sb.WriteString("cardinality    actual(s)  interpolated(s)  training-point\n")
+	for _, r := range rows {
+		mark := ""
+		if r.TrainingPt {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%11.3g  %9.2f  %15.2f  %s\n", r.Cardinality, r.Actual, r.Interpolated, mark)
+	}
+	return sb.String()
+}
+
+// newLogInterp builds a log-log degree-5 interpolator over pre-transformed
+// points and returns an evaluator in raw coordinates.
+func newLogInterp(logXs, logYs []float64) (func(card float64) float64, error) {
+	in, err := tdgen.NewInterpolator(logXs, logYs)
+	if err != nil {
+		return nil, err
+	}
+	return func(card float64) float64 {
+		y := math.Expm1(in.At(math.Log(card)))
+		if y < 0 {
+			return 0
+		}
+		return y
+	}, nil
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// reps is the number of timed repetitions per latency measurement (the
+// median is reported).
+const reps = 5
+
+// Fig1Row is one bar of Figure 1: the improvement factor of the vector-based
+// plan enumeration over the traditional (object + per-call vectorization)
+// enumeration, both driven by the same ML model and pruning.
+type Fig1Row struct {
+	Task          string
+	Operators     int
+	TraditionalMs float64 // Rheem-ML optimization latency
+	VectorMs      float64 // Robopt optimization latency
+	Factor        float64
+}
+
+// Figure1 reproduces Figure 1 on two platforms with the paper's three tasks:
+// WordCount (6 operators), TPC-H Q3, and a synthetic 40-operator pipeline.
+func (h *Harness) Figure1() ([]Fig1Row, error) {
+	plats := platform.Subset(2)
+	avail := platform.UniformAvailability(2)
+	cases := []struct {
+		name string
+		l    *plan.Logical
+	}{
+		{"WordCount", workload.WordCount(1 * workload.GB)},
+		{"TPC-H Q3", workload.Join(10 * workload.GB)},
+		{"Synthetic", workload.Pipeline(40, 10*workload.GB)},
+	}
+	m := h.LatencyModel(plats)
+	var rows []Fig1Row
+	for _, cs := range cases {
+		trad, err := timeIt(reps, func() error {
+			_, err := h.RheemMLOptimizeWith(cs.l, plats, avail, m)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		vec, err := timeIt(reps, func() error {
+			_, err := h.RoboptOptimizeWith(cs.l, plats, avail, m)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1Row{
+			Task:          cs.name,
+			Operators:     cs.l.NumOps(),
+			TraditionalMs: trad,
+			VectorMs:      vec,
+			Factor:        trad / vec,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig1 prints Figure 1 in the paper's style.
+func RenderFig1(rows []Fig1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: Benefit of using vectors in the plan enumeration (2 platforms)\n")
+	sb.WriteString("task            #ops  traditional(ms)  vector-based(ms)  improvement\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-15s %4d  %15.2f  %16.2f  %10.1fx\n",
+			r.Task, r.Operators, r.TraditionalMs, r.VectorMs, r.Factor)
+	}
+	return sb.String()
+}
+
+// Table1Row is one column pair of Table I: the number of enumerated subplans
+// with and without the boundary pruning for a pipeline of the given size
+// over the given number of platforms.
+type Table1Row struct {
+	Operators   int
+	Platforms   int
+	WithPruning int
+	// WithoutPruning is the measured exhaustive count when feasible and
+	// the theoretical search-space size otherwise (the paper reports
+	// 10^6..10^14 for 20 operators).
+	WithoutPruning float64
+	Measured       bool // WithoutPruning was measured, not computed
+}
+
+// Table1 reproduces Table I.
+func (h *Harness) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, nOps := range []int{5, 20} {
+		for k := 2; k <= 5; k++ {
+			l := workload.Pipeline(nOps, 1*workload.GB)
+			ctx, err := core.NewContext(l, platform.Subset(k), platform.UniformAvailability(k))
+			if err != nil {
+				return nil, err
+			}
+			// The enumeration counts are model-independent (boundary
+			// pruning keeps one survivor per footprint whatever the
+			// oracle says), so the lightweight model suffices.
+			m := h.LatencyModel(platform.Subset(k))
+			res, err := ctx.Optimize(m)
+			if err != nil {
+				return nil, err
+			}
+			row := Table1Row{Operators: nOps, Platforms: k, WithPruning: res.Stats.VectorsCreated}
+			if nOps <= 5 {
+				var st core.Stats
+				if _, err := ctx.EnumerateFull(core.NoPruner{}, core.OrderPriority, &st); err != nil {
+					return nil, err
+				}
+				row.WithoutPruning = float64(st.VectorsCreated)
+				row.Measured = true
+			} else {
+				row.WithoutPruning = ctx.SearchSpaceSize()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints Table I.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: Number of enumerated subplans\n")
+	sb.WriteString("(#ops,#plats)  w pruning  w/o pruning\n")
+	for _, r := range rows {
+		wo := fmt.Sprintf("%.0f", r.WithoutPruning)
+		if !r.Measured {
+			wo = fmt.Sprintf("%.0e (search space)", r.WithoutPruning)
+		}
+		fmt.Fprintf(&sb, "(%d,%d)%9s%11d  %s\n", r.Operators, r.Platforms, "", r.WithPruning, wo)
+	}
+	return sb.String()
+}
+
+// Fig9Row is one point of Figure 9: optimization latency of each optimizer.
+type Fig9Row struct {
+	Operators    int
+	Platforms    int
+	ExhaustiveMs float64 // NaN-like -1 when not run (too large)
+	RheemixMs    float64
+	RheemMLMs    float64 // -1 when not measured (panels b-d)
+	RoboptMs     float64
+}
+
+// Figure9a measures optimization latency for increasing operator counts on
+// two platforms: exhaustive vectorized enumeration, RHEEMix, Rheem-ML, and
+// Robopt (Figure 9a).
+func (h *Harness) Figure9a() ([]Fig9Row, error) {
+	plats := platform.Subset(2)
+	avail := platform.UniformAvailability(2)
+	m := h.LatencyModel(plats)
+	var rows []Fig9Row
+	for _, nOps := range []int{5, 20, 40, 80} {
+		l := workload.Pipeline(nOps, 10*workload.GB)
+		row := Fig9Row{Operators: nOps, Platforms: 2, ExhaustiveMs: -1}
+		var err error
+		if nOps <= 12 {
+			ctx, err := core.NewContext(l, plats, avail)
+			if err != nil {
+				return nil, err
+			}
+			row.ExhaustiveMs, err = timeIt(reps, func() error {
+				_, err := ctx.OptimizeExhaustive(m, 0)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if row.RheemixMs, err = timeIt(reps, func() error {
+			_, err := h.RheemixOptimize(l, plats, avail)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.RheemMLMs, err = timeIt(reps, func() error {
+			_, err := h.RheemMLOptimizeWith(l, plats, avail, m)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.RoboptMs, err = timeIt(reps, func() error {
+			_, err := h.RoboptOptimizeWith(l, plats, avail, m)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9bcd measures latency for 2-5 platforms at a fixed operator count
+// (5, 20 and 80 in the paper's panels b, c, d). Rheem-ML is omitted as in
+// the paper; the exhaustive enumeration only runs for the 5-operator panel.
+func (h *Harness) Figure9bcd(nOps int) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for k := 2; k <= 5; k++ {
+		plats := platform.Subset(k)
+		avail := platform.UniformAvailability(k)
+		l := workload.Pipeline(nOps, 10*workload.GB)
+		m := h.LatencyModel(plats)
+		var err error
+		row := Fig9Row{Operators: nOps, Platforms: k, ExhaustiveMs: -1, RheemMLMs: -1}
+		if nOps <= 6 {
+			ctx, err := core.NewContext(l, plats, avail)
+			if err != nil {
+				return nil, err
+			}
+			row.ExhaustiveMs, err = timeIt(reps, func() error {
+				_, err := ctx.OptimizeExhaustive(m, 0)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if row.RheemixMs, err = timeIt(reps, func() error {
+			_, err := h.RheemixOptimize(l, plats, avail)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if row.RoboptMs, err = timeIt(reps, func() error {
+			_, err := h.RoboptOptimizeWith(l, plats, avail, m)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig9 prints one Figure 9 panel.
+func RenderFig9(title string, rows []Fig9Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	sb.WriteString("#ops  #plats  exhaustive(ms)  rheemix(ms)  rheem-ml(ms)  robopt(ms)\n")
+	ms := func(v float64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%4d  %6d  %14s  %11s  %12s  %10s\n",
+			r.Operators, r.Platforms, ms(r.ExhaustiveMs), ms(r.RheemixMs), ms(r.RheemMLMs), ms(r.RoboptMs))
+	}
+	return sb.String()
+}
+
+// Fig10Row is one point of Figure 10: enumeration-order latency for join
+// queries.
+type Fig10Row struct {
+	Joins      int
+	Platforms  int
+	PriorityMs float64
+	TopDownMs  float64
+	BottomUpMs float64
+}
+
+// Figure10 compares the priority-based enumeration order against top-down
+// and bottom-up for plans with 2..5 joins on 3 and 5 platforms.
+func (h *Harness) Figure10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, k := range []int{3, 5} {
+		plats := platform.Subset(k)
+		avail := platform.UniformAvailability(k)
+		m := h.LatencyModel(plats)
+		for joins := 2; joins <= 5; joins++ {
+			l := workload.JoinTree(joins, 10*workload.GB)
+			ctx, err := core.NewContext(l, plats, avail)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig10Row{Joins: joins, Platforms: k}
+			measure := func(order core.OrderPolicy) (float64, error) {
+				return timeIt(reps, func() error {
+					_, err := ctx.OptimizeOpts(m, core.BoundaryPruner{Model: m}, order)
+					return err
+				})
+			}
+			if row.PriorityMs, err = measure(core.OrderPriority); err != nil {
+				return nil, err
+			}
+			if row.TopDownMs, err = measure(core.OrderTopDown); err != nil {
+				return nil, err
+			}
+			if row.BottomUpMs, err = measure(core.OrderBottomUp); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig10 prints Figure 10.
+func RenderFig10(rows []Fig10Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: Effectiveness of priority-based enumeration (join queries)\n")
+	sb.WriteString("#joins  #plats  priority(ms)  top-down(ms)  bottom-up(ms)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%6d  %6d  %12.2f  %12.2f  %13.2f\n",
+			r.Joins, r.Platforms, r.PriorityMs, r.TopDownMs, r.BottomUpMs)
+	}
+	return sb.String()
+}

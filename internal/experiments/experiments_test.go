@@ -1,0 +1,310 @@
+package experiments_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// One quick harness shared by all experiment tests: model training dominates
+// the suite's runtime otherwise.
+var (
+	once sync.Once
+	hns  *experiments.Harness
+)
+
+func harness(t *testing.T) *experiments.Harness {
+	t.Helper()
+	once.Do(func() {
+		hns = experiments.NewHarness()
+		hns.Quick = true
+	})
+	return hns
+}
+
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	rows, err := harness(t).Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// The vector-based enumeration must beat the traditional object
+	// enumeration on the non-trivial plans. The 6-operator WordCount runs
+	// in ~0.1ms where scheduler noise swamps the architectural difference,
+	// so only plans above a dozen operators are asserted.
+	for _, r := range rows {
+		if r.Operators >= 15 && r.Factor <= 1 {
+			t.Errorf("%s (%d ops): vector-based not faster (factor %.2f)", r.Task, r.Operators, r.Factor)
+		}
+	}
+	out := experiments.RenderFig1(rows)
+	if !strings.Contains(out, "WordCount") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows, err := harness(t).Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	worse := 0
+	for _, r := range rows {
+		if r.SimplySec > r.WellTunedSec*1.05 {
+			worse++
+		}
+		if r.SimplySec < r.WellTunedSec*0.95 {
+			t.Errorf("%s: simply-tuned plan (%.1fs) beat well-tuned (%.1fs)", r.Query, r.SimplySec, r.WellTunedSec)
+		}
+	}
+	if worse == 0 {
+		t.Error("simply-tuned model never hurt performance — Figure 2's effect is absent")
+	}
+	_ = experiments.RenderFig2(rows)
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := harness(t).Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if float64(r.WithPruning) >= r.WithoutPruning {
+			t.Errorf("(%d,%d): pruning did not reduce the enumeration: %d vs %g",
+				r.Operators, r.Platforms, r.WithPruning, r.WithoutPruning)
+		}
+	}
+	// Pruned counts grow polynomially with k: for 20 ops the ratio between
+	// k=5 and k=2 must be far below the (5/2)^20 exponential ratio.
+	var k2, k5 int
+	for _, r := range rows {
+		if r.Operators == 20 && r.Platforms == 2 {
+			k2 = r.WithPruning
+		}
+		if r.Operators == 20 && r.Platforms == 5 {
+			k5 = r.WithPruning
+		}
+	}
+	if k2 == 0 || k5 == 0 {
+		t.Fatal("missing 20-operator rows")
+	}
+	if ratio := float64(k5) / float64(k2); ratio > 700 { // ~ (5/2)^4 * slack, far below exponential
+		t.Errorf("pruned enumeration is not polynomial in k: ratio %g", ratio)
+	}
+	_ = experiments.RenderTable1(rows)
+}
+
+func TestTable2MatchesCatalog(t *testing.T) {
+	rows := experiments.Table2()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (Table II)", len(rows))
+	}
+	wantOps := map[string]int{
+		"WordCount": 6, "Word2NVec": 14, "SimWords": 26, "TPC-H Q1": 7,
+		"TPC-H Q3": 18, "Kmeans": 7, "SGD": 6, "CrocoPR": 22,
+	}
+	for _, q := range rows {
+		if wantOps[q.Name] != q.Operators {
+			t.Errorf("%s: catalog says %d operators, Table II says %d", q.Name, q.Operators, wantOps[q.Name])
+		}
+		l := q.Build(q.MinBytes)
+		if l.NumOps() != q.Operators {
+			t.Errorf("%s: built plan has %d operators, catalog declares %d", q.Name, l.NumOps(), q.Operators)
+		}
+	}
+	out := experiments.RenderTable2(rows)
+	if !strings.Contains(out, "CrocoPR") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFigure8InterpolationTracksActual(t *testing.T) {
+	rows, err := harness(t).Figure8()
+	if err != nil {
+		t.Fatalf("Figure8: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.TrainingPt {
+			if math.Abs(r.Interpolated-r.Actual) > 1e-6*r.Actual+1e-6 {
+				t.Errorf("card %g: interpolation misses its own training point (%g vs %g)",
+					r.Cardinality, r.Interpolated, r.Actual)
+			}
+			continue
+		}
+		if math.Abs(r.Interpolated-r.Actual) > 0.25*r.Actual+0.5 {
+			t.Errorf("card %g: imputed %g vs actual %g (>25%% off)", r.Cardinality, r.Interpolated, r.Actual)
+		}
+	}
+	_ = experiments.RenderFig8(rows)
+}
+
+func TestFigure9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	rows, err := harness(t).Figure9a()
+	if err != nil {
+		t.Fatalf("Figure9a: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	last := rows[len(rows)-1] // 80 operators
+	if last.RoboptMs >= last.RheemMLMs {
+		t.Errorf("80 ops: Robopt (%.2fms) not faster than Rheem-ML (%.2fms)", last.RoboptMs, last.RheemMLMs)
+	}
+	_ = experiments.RenderFig9("9a", rows)
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	rows, err := harness(t).Figure10()
+	if err != nil {
+		t.Fatalf("Figure10: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// At the largest configuration the priority order must not lose badly
+	// to either baseline (the paper: up to 2.5x over top-down, 8.5x over
+	// bottom-up; worst case parity).
+	big := rows[len(rows)-1]
+	if big.PriorityMs > big.TopDownMs*1.5 {
+		t.Errorf("priority (%.2fms) much slower than top-down (%.2fms)", big.PriorityMs, big.TopDownMs)
+	}
+	if big.PriorityMs > big.BottomUpMs*1.5 {
+		t.Errorf("priority (%.2fms) much slower than bottom-up (%.2fms)", big.PriorityMs, big.BottomUpMs)
+	}
+	_ = experiments.RenderFig10(rows)
+}
+
+func TestFigure11AndTable3(t *testing.T) {
+	h := harness(t)
+	points, err := h.Figure11()
+	if err != nil {
+		t.Fatalf("Figure11: %v", err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	// Hit rates. The paper reports 84% (Robopt) vs 43% (RHEEMix); our
+	// automatically calibrated RHEEMix is stronger than the paper's
+	// hand-tuned one (see EXPERIMENTS.md), so the robust regression
+	// guards are: both optimizers choose sensibly most of the time, and
+	// Robopt (with the quick test model) is not drastically worse.
+	var rb, rx, rbFail int
+	for _, pt := range points {
+		if pt.Robopt == pt.Fastest {
+			rb++
+		}
+		if pt.Rheemix == pt.Fastest {
+			rx++
+		}
+		if math.IsInf(pt.Runtimes[pt.Robopt], 1) && !math.IsInf(pt.Runtimes[pt.Fastest], 1) {
+			rbFail++
+		}
+	}
+	if 2*rb < len(points) {
+		t.Errorf("Robopt chose the fastest platform only %d/%d times", rb, len(points))
+	}
+	if 2*rx < len(points) {
+		t.Errorf("RHEEMix chose the fastest platform only %d/%d times", rx, len(points))
+	}
+	if rbFail > 2 {
+		t.Errorf("Robopt picked a failing platform %d times", rbFail)
+	}
+
+	rows := h.Table3(points)
+	if len(rows) != 8 {
+		t.Fatalf("Table3 rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.RoboptMax < 0 || r.RheemixMax < 0 {
+			t.Errorf("%s: negative max diff", r.Query)
+		}
+	}
+	// Deviation over the points where Robopt's pick completed: the quick
+	// test model may flip a terabyte near-tie onto an aborting platform
+	// (counted by rbFail above); away from those edges its picks must be
+	// within seconds of optimal.
+	var dev float64
+	n := 0.0
+	for _, pt := range points {
+		rt := pt.Runtimes[pt.Robopt]
+		if math.IsInf(rt, 1) || rt >= h.Cluster.Timeout {
+			continue
+		}
+		dev += rt - pt.Runtimes[pt.Fastest]
+		n++
+	}
+	if n > 0 && dev/n > 120 {
+		t.Errorf("Robopt mean deviation on completed picks = %.1fs", dev/n)
+	}
+	_ = experiments.RenderFig11(points)
+	_ = experiments.RenderTable3(rows)
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rows, err := harness(t).Figure12()
+	if err != nil {
+		t.Fatalf("Figure12: %v", err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	// Robopt must beat RHEEMix somewhere (the K-means / SGD effects) and
+	// must never be drastically worse.
+	wins := 0
+	for _, r := range rows {
+		if r.RoboptRT < r.RheemixRT*0.8 {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("Robopt never clearly beat RHEEMix in multi-platform mode")
+	}
+	_ = experiments.RenderFig12(rows)
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rows, err := harness(t).Figure13()
+	if err != nil {
+		t.Fatalf("Figure13: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	_ = experiments.RenderFig13(rows)
+}
+
+func TestSinglePlatformChoiceErrors(t *testing.T) {
+	l := workload.WordCount(workload.MB)
+	_, err := experiments.SinglePlatformChoice(l, []platform.ID{platform.Postgres},
+		platform.DefaultAvailability(),
+		func(*plan.Execution) (float64, error) { return 0, nil })
+	if err == nil {
+		t.Fatal("accepted a platform that cannot run the query")
+	}
+}

@@ -1,0 +1,88 @@
+// Package mlmodel implements the regression models Robopt plugs into its
+// prune operation: CART regression trees, bagged random forests (the model
+// the paper found most robust), ordinary-least-squares linear regression,
+// and a small multilayer perceptron (Section VII-A: "we tried linear
+// regression, random forests, and neural networks... one can plug any
+// regression algorithm"). Everything is stdlib-only and deterministic for a
+// fixed seed.
+package mlmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a supervised regression dataset: feature rows X and targets Y
+// (execution-plan vectors and their runtimes).
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 for an empty set).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Append adds one labelled row.
+func (d *Dataset) Append(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Validate checks rectangularity and finiteness.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("mlmodel: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	nf := d.NumFeatures()
+	for i, row := range d.X {
+		if len(row) != nf {
+			return fmt.Errorf("mlmodel: row %d has %d features, want %d", i, len(row), nf)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mlmodel: row %d feature %d is %v", i, j, v)
+			}
+		}
+		if math.IsNaN(d.Y[i]) || math.IsInf(d.Y[i], 0) {
+			return fmt.Errorf("mlmodel: label %d is %v", i, d.Y[i])
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test sets with the given test
+// fraction, shuffling with the seeded source. The input is not modified.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(d.Len())
+	nTest := int(float64(d.Len()) * testFrac)
+	train, test = &Dataset{}, &Dataset{}
+	for i, j := range idx {
+		if i < nTest {
+			test.Append(d.X[j], d.Y[j])
+		} else {
+			train.Append(d.X[j], d.Y[j])
+		}
+	}
+	return train, test
+}
+
+// Model is a fitted regression model. It matches core.CostModel so any
+// model plugs directly into the optimizer's prune operation.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// Trainer fits a Model on a dataset.
+type Trainer interface {
+	Fit(d *Dataset) (Model, error)
+}

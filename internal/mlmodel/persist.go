@@ -1,0 +1,213 @@
+package mlmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model serialization: a tagged JSON envelope so a trained model can be
+// saved once and reloaded by the CLI without retraining. Only the model
+// families used by the optimizer are supported (trees-based ensembles,
+// linear regression, and the log-target wrapper).
+
+type modelEnvelope struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func marshalJSON(v any) (json.RawMessage, error) { return json.Marshal(v) }
+
+func unmarshalJSON(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+type treeJSON struct {
+	Feature   []int32   `json:"feature"`
+	Threshold []float64 `json:"threshold"`
+	Left      []int32   `json:"left"`
+	Right     []int32   `json:"right"`
+	Value     []float64 `json:"value"`
+}
+
+func treeToJSON(t *Tree) treeJSON {
+	tj := treeJSON{
+		Feature:   make([]int32, len(t.nodes)),
+		Threshold: make([]float64, len(t.nodes)),
+		Left:      make([]int32, len(t.nodes)),
+		Right:     make([]int32, len(t.nodes)),
+		Value:     make([]float64, len(t.nodes)),
+	}
+	for i, n := range t.nodes {
+		tj.Feature[i] = n.feature
+		tj.Threshold[i] = n.threshold
+		tj.Left[i] = n.left
+		tj.Right[i] = n.right
+		tj.Value[i] = n.value
+	}
+	return tj
+}
+
+func treeFromJSON(tj treeJSON) (*Tree, error) {
+	n := len(tj.Feature)
+	if len(tj.Threshold) != n || len(tj.Left) != n || len(tj.Right) != n || len(tj.Value) != n {
+		return nil, fmt.Errorf("mlmodel: inconsistent tree arrays")
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("mlmodel: empty tree")
+	}
+	t := &Tree{nodes: make([]treeNode, n)}
+	for i := 0; i < n; i++ {
+		if tj.Feature[i] >= 0 {
+			if tj.Left[i] <= 0 || int(tj.Left[i]) >= n || tj.Right[i] <= 0 || int(tj.Right[i]) >= n {
+				return nil, fmt.Errorf("mlmodel: tree node %d has out-of-range children", i)
+			}
+		}
+		t.nodes[i] = treeNode{
+			feature:   tj.Feature[i],
+			threshold: tj.Threshold[i],
+			left:      tj.Left[i],
+			right:     tj.Right[i],
+			value:     tj.Value[i],
+		}
+	}
+	return t, nil
+}
+
+type gbmJSON struct {
+	Base  float64    `json:"base"`
+	LR    float64    `json:"lr"`
+	Trees []treeJSON `json:"trees"`
+}
+
+type forestJSON struct {
+	Trees []treeJSON `json:"trees"`
+}
+
+type linearJSON struct {
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+}
+
+// SaveModel writes m to w as JSON. Supported: *GBM, *Forest, *Linear, *Tree,
+// and LogTarget wrapping any of them.
+func SaveModel(w io.Writer, m Model) error {
+	env, err := envelope(m)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+func envelope(m Model) (*modelEnvelope, error) {
+	marshal := func(typ string, v any) (*modelEnvelope, error) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return &modelEnvelope{Type: typ, Payload: raw}, nil
+	}
+	switch mm := m.(type) {
+	case *GBM:
+		gj := gbmJSON{Base: mm.base, LR: mm.lr}
+		for _, t := range mm.trees {
+			gj.Trees = append(gj.Trees, treeToJSON(t))
+		}
+		return marshal("gbm", gj)
+	case *Forest:
+		fj := forestJSON{}
+		for _, t := range mm.trees {
+			fj.Trees = append(fj.Trees, treeToJSON(t))
+		}
+		return marshal("forest", fj)
+	case *Linear:
+		return marshal("linear", linearJSON{Weights: mm.Weights, Intercept: mm.Intercept})
+	case *Tree:
+		return marshal("tree", treeToJSON(mm))
+	case LogTarget:
+		inner, err := envelope(mm.Inner)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(inner)
+		if err != nil {
+			return nil, err
+		}
+		return &modelEnvelope{Type: "logtarget", Payload: raw}, nil
+	case Ensemble:
+		return ensembleEnvelope(mm)
+	default:
+		return nil, fmt.Errorf("mlmodel: cannot serialize model of type %T", m)
+	}
+}
+
+// LoadModel reads a model previously written by SaveModel.
+func LoadModel(r io.Reader) (Model, error) {
+	var env modelEnvelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("mlmodel: decoding model: %w", err)
+	}
+	return fromEnvelope(&env)
+}
+
+func fromEnvelope(env *modelEnvelope) (Model, error) {
+	switch env.Type {
+	case "gbm":
+		var gj gbmJSON
+		if err := json.Unmarshal(env.Payload, &gj); err != nil {
+			return nil, err
+		}
+		g := &GBM{base: gj.Base, lr: gj.LR}
+		for _, tj := range gj.Trees {
+			t, err := treeFromJSON(tj)
+			if err != nil {
+				return nil, err
+			}
+			g.trees = append(g.trees, t)
+		}
+		return g, nil
+	case "forest":
+		var fj forestJSON
+		if err := json.Unmarshal(env.Payload, &fj); err != nil {
+			return nil, err
+		}
+		if len(fj.Trees) == 0 {
+			return nil, fmt.Errorf("mlmodel: forest with no trees")
+		}
+		f := &Forest{inv: 1 / float64(len(fj.Trees))}
+		for _, tj := range fj.Trees {
+			t, err := treeFromJSON(tj)
+			if err != nil {
+				return nil, err
+			}
+			f.trees = append(f.trees, t)
+		}
+		return f, nil
+	case "linear":
+		var lj linearJSON
+		if err := json.Unmarshal(env.Payload, &lj); err != nil {
+			return nil, err
+		}
+		return &Linear{Weights: lj.Weights, Intercept: lj.Intercept}, nil
+	case "tree":
+		var tj treeJSON
+		if err := json.Unmarshal(env.Payload, &tj); err != nil {
+			return nil, err
+		}
+		return treeFromJSON(tj)
+	case "ensemble":
+		return ensembleFromEnvelope(env.Payload)
+	case "logtarget":
+		var inner modelEnvelope
+		if err := json.Unmarshal(env.Payload, &inner); err != nil {
+			return nil, err
+		}
+		m, err := fromEnvelope(&inner)
+		if err != nil {
+			return nil, err
+		}
+		return LogTarget{Inner: m}, nil
+	default:
+		return nil, fmt.Errorf("mlmodel: unknown model type %q", env.Type)
+	}
+}

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Builder incrementally constructs a logical plan. It is the programmatic
+// equivalent of writing a Rheem dataflow: add operators wiring them to their
+// producers, optionally mark loop regions, then Build.
+type Builder struct {
+	ops           []*Operator
+	loops         map[int]int
+	sourceCards   map[OpID]float64
+	avgTupleBytes float64
+	nextLoop      int
+	err           error
+}
+
+// NewBuilder returns an empty plan builder. avgTupleBytes is the dataset
+// feature of Section IV-A (average input tuple size in bytes).
+func NewBuilder(avgTupleBytes float64) *Builder {
+	return &Builder{
+		loops:         map[int]int{},
+		sourceCards:   map[OpID]float64{},
+		avgTupleBytes: avgTupleBytes,
+		nextLoop:      1,
+	}
+}
+
+// Source adds a source operator reading a dataset of `card` tuples.
+func (b *Builder) Source(kind platform.Kind, name string, card float64) OpID {
+	if !kind.IsSource() && b.err == nil {
+		b.err = fmt.Errorf("plan: %s is not a source kind", kind)
+	}
+	id := b.add(kind, name, platform.Logarithmic, 1, nil)
+	b.sourceCards[id] = card
+	return id
+}
+
+// Add adds an operator of the given kind consuming the listed producers.
+// Selectivity is the output/input ratio (ignored by kinds with fixed output
+// semantics). The number of producers must match the kind's input arity.
+func (b *Builder) Add(kind platform.Kind, name string, udf platform.Complexity, sel float64, in ...OpID) OpID {
+	return b.add(kind, name, udf, sel, in)
+}
+
+func (b *Builder) add(kind platform.Kind, name string, udf platform.Complexity, sel float64, in []OpID) OpID {
+	id := OpID(len(b.ops))
+	op := &Operator{
+		ID:          id,
+		Kind:        kind,
+		Name:        name,
+		UDF:         udf,
+		Selectivity: sel,
+		In:          append([]OpID(nil), in...),
+	}
+	for _, p := range in {
+		if int(p) < 0 || int(p) >= len(b.ops) {
+			if b.err == nil {
+				b.err = fmt.Errorf("plan: op %d (%s) wired to unknown producer %d", id, kind, p)
+			}
+			continue
+		}
+		b.ops[p].Out = append(b.ops[p].Out, id)
+	}
+	b.ops = append(b.ops, op)
+	return id
+}
+
+// Loop marks the given operators as one iterative region executed
+// `iterations` times and returns the region's loop ID.
+func (b *Builder) Loop(iterations int, ops ...OpID) int {
+	loopID := b.nextLoop
+	b.nextLoop++
+	b.loops[loopID] = iterations
+	for _, id := range ops {
+		if int(id) < 0 || int(id) >= len(b.ops) {
+			if b.err == nil {
+				b.err = fmt.Errorf("plan: loop references unknown op %d", id)
+			}
+			continue
+		}
+		b.ops[id].LoopID = loopID
+	}
+	return loopID
+}
+
+// Peek returns a snapshot of the plan under construction with cardinalities
+// propagated but without arity validation (operators added later may still be
+// missing consumers). Workload builders use it to express selectivities in
+// terms of absolute cardinalities.
+func (b *Builder) Peek() (*Logical, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	l := &Logical{
+		Ops:           b.ops,
+		Loops:         b.loops,
+		SourceCards:   b.sourceCards,
+		AvgTupleBytes: b.avgTupleBytes,
+	}
+	l.PropagateCardinalities()
+	return l, nil
+}
+
+// Build validates the plan, propagates cardinalities, and returns it.
+func (b *Builder) Build() (*Logical, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	l := &Logical{
+		Ops:           b.ops,
+		Loops:         b.loops,
+		SourceCards:   b.sourceCards,
+		AvgTupleBytes: b.avgTupleBytes,
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	l.PropagateCardinalities()
+	return l, nil
+}
+
+// MustBuild is Build that panics on error; intended for the static workload
+// definitions and tests.
+func (b *Builder) MustBuild() *Logical {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the logical plan as a Graphviz digraph: operators as boxes,
+// dataflow as edges, loop regions as dashed clusters.
+func (l *Logical) ToDOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	byLoop := map[int][]*Operator{}
+	for _, o := range l.Ops {
+		byLoop[o.LoopID] = append(byLoop[o.LoopID], o)
+	}
+	for _, o := range byLoop[0] {
+		fmt.Fprintf(&sb, "  o%d [label=\"o%d %s\\n%s\"];\n", o.ID, o.ID, o.Kind, escapeDOT(o.Name))
+	}
+	for loopID, iters := range l.Loops {
+		fmt.Fprintf(&sb, "  subgraph cluster_loop%d {\n    label=\"loop x%d\";\n    style=dashed;\n", loopID, iters)
+		for _, o := range byLoop[loopID] {
+			fmt.Fprintf(&sb, "    o%d [label=\"o%d %s\\n%s\"];\n", o.ID, o.ID, o.Kind, escapeDOT(o.Name))
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, e := range l.Edges() {
+		fmt.Fprintf(&sb, "  o%d -> o%d [label=\"%.3g\"];\n", e.From, e.To, l.EdgeCard(e))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ToDOT renders the execution plan: operators colored per platform and
+// conversion operators as diamond nodes on the crossed edges.
+func (x *Execution) ToDOT(name string) string {
+	colors := []string{"lightblue", "orange", "palegreen", "plum", "khaki", "lightgray"}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n", name)
+	for _, o := range x.Logical.Ops {
+		p := x.Assign[o.ID]
+		color := colors[int(p)%len(colors)]
+		fmt.Fprintf(&sb, "  o%d [label=\"%s%s\\n%s\", fillcolor=%s];\n",
+			o.ID, p, o.Kind, escapeDOT(o.Name), color)
+	}
+	converted := map[[2]OpID]int{}
+	for ci, conv := range x.Conversions {
+		converted[[2]OpID{conv.AfterOp, conv.BeforeOp}] = ci
+		fmt.Fprintf(&sb, "  conv%d [label=\"%s\\n%.3g tuples\", shape=diamond, fillcolor=white];\n",
+			ci, escapeDOT(conv.Name()), conv.Card)
+	}
+	for _, e := range x.Logical.Edges() {
+		if ci, ok := converted[[2]OpID{e.From, e.To}]; ok {
+			fmt.Fprintf(&sb, "  o%d -> conv%d;\n  conv%d -> o%d;\n", e.From, ci, ci, e.To)
+			continue
+		}
+		fmt.Fprintf(&sb, "  o%d -> o%d;\n", e.From, e.To)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,53 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+func TestLogicalToDOT(t *testing.T) {
+	b := plan.NewBuilder(64)
+	src := b.Source(platform.TextFileSource, `with "quotes"`, 1000)
+	m := b.Add(platform.Map, "m", platform.Linear, 1, src)
+	r := b.Add(platform.ReduceBy, "r", platform.Linear, 0.5, m)
+	b.Loop(5, m, r)
+	b.Add(platform.CollectionSink, "s", platform.Logarithmic, 1, r)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dot := l.ToDOT("test")
+	for _, want := range []string{"digraph", "cluster_loop", "loop x5", "o0 -> o1", `\"quotes\"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "->") != len(l.Edges()) {
+		t.Errorf("edge count mismatch in DOT")
+	}
+}
+
+func TestExecutionToDOT(t *testing.T) {
+	l := buildExample(t)
+	assign := make([]platform.ID, l.NumOps())
+	for i := range assign {
+		assign[i] = platform.Spark
+	}
+	assign[2] = platform.Java
+	assign[3] = platform.Java
+	assign[4] = platform.Java
+	x, err := plan.NewExecution(l, assign)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	dot := x.ToDOT("exec")
+	if !strings.Contains(dot, "conv0") {
+		t.Errorf("DOT missing conversion node:\n%s", dot)
+	}
+	if !strings.Contains(dot, "JavaMap") || !strings.Contains(dot, "SparkJoin") {
+		t.Errorf("DOT missing platform-prefixed operators:\n%s", dot)
+	}
+}

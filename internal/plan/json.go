@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/platform"
+)
+
+// jsonPlan is the on-disk representation of a logical plan, consumed by the
+// robopt CLI and producible by any client.
+type jsonPlan struct {
+	AvgTupleBytes float64    `json:"avgTupleBytes"`
+	Operators     []jsonOp   `json:"operators"`
+	Loops         []jsonLoop `json:"loops,omitempty"`
+}
+
+type jsonOp struct {
+	ID          int     `json:"id"`
+	Kind        string  `json:"kind"`
+	Name        string  `json:"name,omitempty"`
+	UDF         string  `json:"udf,omitempty"` // defaults to Linear
+	Selectivity float64 `json:"selectivity,omitempty"`
+	Card        float64 `json:"card,omitempty"` // sources only
+	In          []int   `json:"in,omitempty"`
+	Loop        int     `json:"loop,omitempty"`
+}
+
+type jsonLoop struct {
+	ID         int `json:"id"`
+	Iterations int `json:"iterations"`
+}
+
+// MarshalJSONPlan encodes a logical plan.
+func MarshalJSONPlan(l *Logical) ([]byte, error) {
+	jp := jsonPlan{AvgTupleBytes: l.AvgTupleBytes}
+	for _, o := range l.Ops {
+		op := jsonOp{
+			ID:          int(o.ID),
+			Kind:        o.Kind.String(),
+			Name:        o.Name,
+			UDF:         o.UDF.String(),
+			Selectivity: o.Selectivity,
+			Loop:        o.LoopID,
+		}
+		for _, p := range o.In {
+			op.In = append(op.In, int(p))
+		}
+		if len(o.In) == 0 {
+			op.Card = l.SourceCards[o.ID]
+		}
+		jp.Operators = append(jp.Operators, op)
+	}
+	for id, it := range l.Loops {
+		jp.Loops = append(jp.Loops, jsonLoop{ID: id, Iterations: it})
+	}
+	return json.MarshalIndent(jp, "", "  ")
+}
+
+// UnmarshalJSONPlan decodes and validates a logical plan. Operators must be
+// listed so that every operator's inputs precede it (IDs are re-derived from
+// list order and must match the declared ids).
+func UnmarshalJSONPlan(r io.Reader) (*Logical, error) {
+	var jp jsonPlan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("plan: decoding JSON plan: %w", err)
+	}
+	if jp.AvgTupleBytes <= 0 {
+		jp.AvgTupleBytes = 100
+	}
+	b := NewBuilder(jp.AvgTupleBytes)
+	loopOps := map[int][]OpID{}
+	for i, op := range jp.Operators {
+		if op.ID != i {
+			return nil, fmt.Errorf("plan: operator at position %d declares id %d; ids must be dense and ordered", i, op.ID)
+		}
+		kind, err := platform.KindByName(op.Kind)
+		if err != nil {
+			return nil, err
+		}
+		udf := platform.Linear
+		if op.UDF != "" {
+			found := false
+			for c := platform.Logarithmic; c <= platform.SuperQuadratic; c++ {
+				if c.String() == op.UDF {
+					udf, found = c, true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("plan: operator %d has unknown UDF complexity %q", i, op.UDF)
+			}
+		}
+		sel := op.Selectivity
+		if sel == 0 {
+			sel = 1
+		}
+		var id OpID
+		if kind.IsSource() {
+			if op.Card <= 0 {
+				return nil, fmt.Errorf("plan: source operator %d needs a positive card", i)
+			}
+			id = b.Source(kind, op.Name, op.Card)
+		} else {
+			in := make([]OpID, len(op.In))
+			for j, p := range op.In {
+				in[j] = OpID(p)
+			}
+			id = b.Add(kind, op.Name, udf, sel, in...)
+		}
+		if op.Loop != 0 {
+			loopOps[op.Loop] = append(loopOps[op.Loop], id)
+		}
+	}
+	declared := map[int]int{}
+	for _, lp := range jp.Loops {
+		declared[lp.ID] = lp.Iterations
+	}
+	for loopID, ops := range loopOps {
+		it, ok := declared[loopID]
+		if !ok {
+			return nil, fmt.Errorf("plan: operators reference undeclared loop %d", loopID)
+		}
+		b.Loop(it, ops...)
+	}
+	return b.Build()
+}

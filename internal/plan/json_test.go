@@ -1,0 +1,81 @@
+package plan_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+func TestJSONPlanRoundTrip(t *testing.T) {
+	l := buildExample(t)
+	data, err := plan.MarshalJSONPlan(l)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := plan.UnmarshalJSONPlan(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.NumOps() != l.NumOps() {
+		t.Fatalf("ops = %d, want %d", back.NumOps(), l.NumOps())
+	}
+	for i, o := range l.Ops {
+		bo := back.Op(plan.OpID(i))
+		if bo.Kind != o.Kind || bo.Name != o.Name || bo.UDF != o.UDF {
+			t.Errorf("op %d differs: %v/%v", i, bo, o)
+		}
+		if bo.OutputCard != o.OutputCard {
+			t.Errorf("op %d output card = %g, want %g", i, bo.OutputCard, o.OutputCard)
+		}
+	}
+	if back.AvgTupleBytes != l.AvgTupleBytes {
+		t.Errorf("tuple bytes = %g, want %g", back.AvgTupleBytes, l.AvgTupleBytes)
+	}
+}
+
+func TestJSONPlanLoopsRoundTrip(t *testing.T) {
+	b := plan.NewBuilder(64)
+	src := b.Source(platform.CollectionSource, "src", 1000)
+	m := b.Add(platform.Map, "m", platform.Linear, 1, src)
+	r := b.Add(platform.ReduceBy, "r", platform.Linear, 0.5, m)
+	b.Add(platform.CollectionSink, "s", platform.Logarithmic, 1, r)
+	b.Loop(7, m, r)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	data, err := plan.MarshalJSONPlan(l)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := plan.UnmarshalJSONPlan(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Op(1).LoopID == 0 || back.Op(2).LoopID == 0 {
+		t.Fatal("loop membership lost")
+	}
+	if got := back.Loops[back.Op(1).LoopID]; got != 7 {
+		t.Fatalf("iterations = %d, want 7", got)
+	}
+}
+
+func TestJSONPlanErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{nope}`,
+		"unknown kind":  `{"operators":[{"id":0,"kind":"Nope","card":10}]}`,
+		"bad ids":       `{"operators":[{"id":5,"kind":"TextFileSource","card":10}]}`,
+		"missing card":  `{"operators":[{"id":0,"kind":"TextFileSource"}]}`,
+		"unknown udf":   `{"operators":[{"id":0,"kind":"TextFileSource","card":10,"udf":"Cubic"}]}`,
+		"unknown loop":  `{"operators":[{"id":0,"kind":"TextFileSource","card":10},{"id":1,"kind":"CollectionSink","in":[0],"loop":3}]}`,
+		"unknown field": `{"wat":1,"operators":[]}`,
+	}
+	for name, js := range cases {
+		if _, err := plan.UnmarshalJSONPlan(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted %s", name, js)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package platform
+
+import "fmt"
+
+// Kind is a platform-agnostic logical operator kind (the vertices of a Rheem
+// logical plan, Section III-A). Kinds are dense small integers so that plan
+// vectors can dedicate one feature block per kind.
+type Kind uint8
+
+// Logical operator kinds. The set covers the operators used by the paper's
+// workloads (Table II): relational analytics, text mining, machine learning
+// (iterative) and graph mining.
+const (
+	// Sources (0 inputs, 1 output).
+	TextFileSource Kind = iota
+	CollectionSource
+	TableSource // relational table scan; Postgres-native
+
+	// Unary transformations (1 input, 1 output).
+	Map
+	FlatMap
+	Filter
+	Project
+	Sample // ShufflePartitionSample: stateful inside loops (Section VII-C2)
+	Distinct
+	Sort
+	ReduceBy
+	GroupBy
+	Count
+	Cache     // materialization hint; interacts with Sample state
+	Broadcast // makes a small dataset available to all workers
+	Collect   // data-movement collect (also used as a conversion operator)
+
+	// Binary operators (2 inputs, 1 output).
+	Join
+	Union
+
+	// Replicating operator (1 input, 2 outputs) — the "replicate" topology.
+	Replicate
+
+	// Loop head (1 input, 1 output): marks an iterative region; the plan
+	// stores the iteration count per loop region.
+	RepeatLoop
+
+	// Sinks (1 input, 0 outputs).
+	CollectionSink
+	TextFileSink
+
+	numKinds
+)
+
+// KindCount is the number of logical operator kinds.
+const KindCount = int(numKinds)
+
+var kindNames = [...]string{
+	"TextFileSource", "CollectionSource", "TableSource",
+	"Map", "FlatMap", "Filter", "Project", "Sample", "Distinct", "Sort",
+	"ReduceBy", "GroupBy", "Count", "Cache", "Broadcast", "Collect",
+	"Join", "Union", "Replicate", "RepeatLoop",
+	"CollectionSink", "TextFileSink",
+}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a known kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// KindByName returns the kind with the given name.
+func KindByName(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("platform: unknown operator kind %q", name)
+}
+
+// AllKinds returns all kinds in ID order.
+func AllKinds() []Kind {
+	out := make([]Kind, KindCount)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Arity describes the input/output wiring of a kind.
+type Arity struct {
+	In  int // number of inputs consumed
+	Out int // number of outputs produced
+}
+
+var kindArity = [numKinds]Arity{
+	TextFileSource:   {0, 1},
+	CollectionSource: {0, 1},
+	TableSource:      {0, 1},
+	Map:              {1, 1},
+	FlatMap:          {1, 1},
+	Filter:           {1, 1},
+	Project:          {1, 1},
+	Sample:           {1, 1},
+	Distinct:         {1, 1},
+	Sort:             {1, 1},
+	ReduceBy:         {1, 1},
+	GroupBy:          {1, 1},
+	Count:            {1, 1},
+	Cache:            {1, 1},
+	Broadcast:        {1, 1},
+	Collect:          {1, 1},
+	Join:             {2, 1},
+	Union:            {2, 1},
+	Replicate:        {1, 2},
+	RepeatLoop:       {1, 1},
+	CollectionSink:   {1, 0},
+	TextFileSink:     {1, 0},
+}
+
+// ArityOf returns the wiring arity of kind k.
+func ArityOf(k Kind) Arity { return kindArity[k] }
+
+// IsSource reports whether k consumes no inputs.
+func (k Kind) IsSource() bool { return kindArity[k].In == 0 }
+
+// IsSink reports whether k produces no outputs.
+func (k Kind) IsSink() bool { return kindArity[k].Out == 0 }
+
+// IsShuffling reports whether the kind requires a data shuffle (repartition)
+// on parallel platforms. Shuffles dominate distributed runtimes and are the
+// main source of per-kind cost differences between platforms.
+func (k Kind) IsShuffling() bool {
+	switch k {
+	case ReduceBy, GroupBy, Join, Distinct, Sort:
+		return true
+	}
+	return false
+}
+
+// Availability maps each logical operator kind to the platforms that provide
+// an execution operator for it. It is the k in the paper's O(k^n) search
+// space.
+type Availability struct {
+	byKind [numKinds][]ID
+}
+
+// NewAvailability returns an availability matrix with no registrations.
+func NewAvailability() *Availability { return &Availability{} }
+
+// Register declares that platform p provides an execution operator for k.
+func (a *Availability) Register(k Kind, ps ...ID) *Availability {
+	for _, p := range ps {
+		if !a.Has(k, p) {
+			a.byKind[k] = append(a.byKind[k], p)
+		}
+	}
+	return a
+}
+
+// Has reports whether platform p implements kind k.
+func (a *Availability) Has(k Kind, p ID) bool {
+	for _, q := range a.byKind[k] {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// For returns the platforms implementing k, in registration order. The
+// returned slice must not be modified.
+func (a *Availability) For(k Kind) []ID { return a.byKind[k] }
+
+// Only returns a copy of a in which kind k is implemented exclusively by the
+// given platforms. It models data-residency constraints, e.g. a table scan
+// that can only run where the table lives (the CrocoPR-PG and Figure 13
+// scenarios).
+func (a *Availability) Only(k Kind, ps ...ID) *Availability {
+	out := NewAvailability()
+	for kk := Kind(0); kk < numKinds; kk++ {
+		if kk == k {
+			out.Register(kk, ps...)
+			continue
+		}
+		out.Register(kk, a.byKind[kk]...)
+	}
+	return out
+}
+
+// Restrict returns a copy of a limited to the given platform set, preserving
+// order. Kinds with no surviving platform have empty alternatives; plan
+// validation rejects such plans.
+func (a *Availability) Restrict(ps []ID) *Availability {
+	keep := map[ID]bool{}
+	for _, p := range ps {
+		keep[p] = true
+	}
+	out := NewAvailability()
+	for k := Kind(0); k < numKinds; k++ {
+		for _, p := range a.byKind[k] {
+			if keep[p] {
+				out.Register(k, p)
+			}
+		}
+	}
+	return out
+}
+
+// DefaultAvailability returns the paper's realistic availability matrix:
+// Java, Spark, and Flink are general-purpose and implement every kind;
+// Postgres implements only relational operators (scan, filter, project,
+// join, group/reduce, count, sort, distinct); GraphX implements the kinds
+// exercised by graph workloads.
+func DefaultAvailability() *Availability {
+	a := NewAvailability()
+	general := []ID{Java, Spark, Flink}
+	for k := Kind(0); k < numKinds; k++ {
+		a.Register(k, general...)
+	}
+	for _, k := range []Kind{TableSource, Filter, Project, Join, ReduceBy, GroupBy, Count, Sort, Distinct} {
+		a.Register(k, Postgres)
+	}
+	for _, k := range []Kind{Map, ReduceBy, Join, Filter, RepeatLoop} {
+		a.Register(k, GraphX)
+	}
+	// Result collection and the conversion endpoints exist on every
+	// platform: any engine can hand its output to the driver.
+	for _, k := range []Kind{CollectionSource, CollectionSink, Collect} {
+		a.Register(k, Postgres, GraphX)
+	}
+	return a
+}
+
+// UniformAvailability returns an availability matrix in which every kind is
+// implemented by the first n platforms. The scalability experiments
+// (Figures 9, 10 and Table I) "assume all operators are available in 2-5
+// platforms".
+func UniformAvailability(n int) *Availability {
+	ps := Subset(n)
+	a := NewAvailability()
+	for k := Kind(0); k < numKinds; k++ {
+		a.Register(k, ps...)
+	}
+	return a
+}
+
+// ConversionName returns the Rheem-style name of the conversion (data
+// movement) operator pair that moves data from platform `from` to platform
+// `to`, e.g. "JavaCollect->SparkCollectionSource" (Fig. 3b).
+func ConversionName(from, to ID) string {
+	return fmt.Sprintf("%sCollect->%sCollectionSource", from, to)
+}

@@ -1,0 +1,150 @@
+package platform_test
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestPlatformNames(t *testing.T) {
+	for _, p := range platform.All() {
+		got, err := platform.ByName(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v failed: %v %v", p, got, err)
+		}
+		if !p.Valid() {
+			t.Errorf("%v not valid", p)
+		}
+	}
+	if _, err := platform.ByName("Hive"); err == nil {
+		t.Error("ByName accepted an unknown platform")
+	}
+	if platform.ID(99).Valid() {
+		t.Error("ID(99) reported valid")
+	}
+	if platform.ID(99).String() == "" {
+		t.Error("invalid platform has empty name")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	for n := 1; n <= platform.NumPlatforms; n++ {
+		s := platform.Subset(n)
+		if len(s) != n {
+			t.Fatalf("Subset(%d) has %d entries", n, len(s))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subset(0) did not panic")
+		}
+	}()
+	platform.Subset(0)
+}
+
+func TestKindNamesAndArity(t *testing.T) {
+	for _, k := range platform.AllKinds() {
+		got, err := platform.KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v failed", k)
+		}
+		ar := platform.ArityOf(k)
+		if k.IsSource() != (ar.In == 0) {
+			t.Errorf("%v: IsSource inconsistent with arity", k)
+		}
+		if k.IsSink() != (ar.Out == 0) {
+			t.Errorf("%v: IsSink inconsistent with arity", k)
+		}
+	}
+	if _, err := platform.KindByName("Nope"); err == nil {
+		t.Error("KindByName accepted an unknown kind")
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	prevW, prevC := 0.0, 0.0
+	for c := platform.Logarithmic; c <= platform.SuperQuadratic; c++ {
+		if !c.Valid() {
+			t.Errorf("%v not valid", c)
+		}
+		if c.Weight() <= prevW {
+			t.Errorf("weights not increasing at %v", c)
+		}
+		if c.CostFactor() <= prevC {
+			t.Errorf("cost factors not increasing at %v", c)
+		}
+		prevW, prevC = c.Weight(), c.CostFactor()
+	}
+	if platform.Complexity(0).Valid() || platform.Complexity(9).Valid() {
+		t.Error("invalid complexity reported valid")
+	}
+}
+
+func TestDefaultAvailability(t *testing.T) {
+	a := platform.DefaultAvailability()
+	// General-purpose platforms implement everything.
+	for _, k := range platform.AllKinds() {
+		for _, p := range []platform.ID{platform.Java, platform.Spark, platform.Flink} {
+			if !a.Has(k, p) {
+				t.Errorf("%s missing on %s", k, p)
+			}
+		}
+	}
+	if a.Has(platform.FlatMap, platform.Postgres) {
+		t.Error("Postgres should not implement FlatMap")
+	}
+	if !a.Has(platform.Join, platform.Postgres) {
+		t.Error("Postgres should implement Join")
+	}
+	if !a.Has(platform.CollectionSink, platform.Postgres) {
+		t.Error("every platform should deliver results (CollectionSink)")
+	}
+}
+
+func TestUniformAvailability(t *testing.T) {
+	a := platform.UniformAvailability(3)
+	for _, k := range platform.AllKinds() {
+		if got := len(a.For(k)); got != 3 {
+			t.Fatalf("%s available on %d platforms, want 3", k, got)
+		}
+	}
+}
+
+func TestAvailabilityRestrict(t *testing.T) {
+	a := platform.DefaultAvailability().Restrict(platform.Subset(2))
+	for _, k := range platform.AllKinds() {
+		for _, p := range a.For(k) {
+			if p != platform.Java && p != platform.Spark {
+				t.Fatalf("%s still available on %s after Restrict", k, p)
+			}
+		}
+	}
+}
+
+func TestAvailabilityOnly(t *testing.T) {
+	a := platform.DefaultAvailability().Only(platform.TableSource, platform.Postgres)
+	if got := a.For(platform.TableSource); len(got) != 1 || got[0] != platform.Postgres {
+		t.Fatalf("TableSource available on %v, want [Postgres]", got)
+	}
+	// Other kinds unaffected.
+	if !a.Has(platform.Map, platform.Spark) {
+		t.Error("Only clobbered unrelated kinds")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := platform.NewAvailability()
+	a.Register(platform.Map, platform.Java)
+	a.Register(platform.Map, platform.Java)
+	if got := len(a.For(platform.Map)); got != 1 {
+		t.Fatalf("duplicate registration kept: %d entries", got)
+	}
+}
+
+func TestConversionName(t *testing.T) {
+	got := platform.ConversionName(platform.Java, platform.Spark)
+	want := "JavaCollect->SparkCollectionSource"
+	if got != want {
+		t.Fatalf("ConversionName = %q, want %q", got, want)
+	}
+}

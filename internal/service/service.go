@@ -1,0 +1,174 @@
+// Package service exposes the optimizer over HTTP: clients POST a JSON
+// logical plan and receive the chosen execution plan, its predicted runtime,
+// and the enumeration statistics. It is the embedding surface a
+// cross-platform system would call in place of its cost-based optimizer.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mlmodel"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+)
+
+// Server handles optimization requests with a fixed trained model.
+type Server struct {
+	Model     mlmodel.Model
+	Platforms []platform.ID
+	Avail     *platform.Availability
+	// Cluster, when set, lets /optimize?simulate=1 report the simulated
+	// runtime of the chosen plan.
+	Cluster *simulator.Cluster
+	// Workers is passed to the enumeration context.
+	Workers int
+
+	mu    sync.Mutex
+	stats struct {
+		Requests  int64
+		Failures  int64
+		TotalMs   float64
+		LastError string
+	}
+}
+
+// OptimizeResponse is the JSON reply of POST /optimize.
+type OptimizeResponse struct {
+	// Assignments maps operator id (slice index) to platform name.
+	Assignments []string `json:"assignments"`
+	// Conversions lists the data movement operators of the plan.
+	Conversions []ConversionJSON `json:"conversions,omitempty"`
+	// PredictedRuntimeSec is the model's estimate.
+	PredictedRuntimeSec float64 `json:"predictedRuntimeSec"`
+	// SimulatedRuntimeSec is filled when simulate=1 and a cluster is
+	// configured; OOM/aborted runs surface via SimulatedLabel.
+	SimulatedRuntimeSec float64 `json:"simulatedRuntimeSec,omitempty"`
+	SimulatedLabel      string  `json:"simulatedLabel,omitempty"`
+	// Stats summarizes the enumeration work.
+	Stats StatsJSON `json:"stats"`
+	// OptimizationMs is the wall-clock optimization latency.
+	OptimizationMs float64 `json:"optimizationMs"`
+}
+
+// ConversionJSON is one conversion operator in the reply.
+type ConversionJSON struct {
+	Name     string  `json:"name"`
+	AfterOp  int     `json:"afterOp"`
+	BeforeOp int     `json:"beforeOp"`
+	Tuples   float64 `json:"tuples"`
+}
+
+// StatsJSON mirrors core.Stats.
+type StatsJSON struct {
+	VectorsCreated int `json:"vectorsCreated"`
+	Merges         int `json:"merges"`
+	ModelCalls     int `json:"modelCalls"`
+	Pruned         int `json:"pruned"`
+	PeakEnumSize   int `json:"peakEnumSize"`
+}
+
+// Handler returns the HTTP handler: POST /optimize, GET /healthz,
+// GET /statz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON logical plan", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	l, err := plan.UnmarshalJSONPlan(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, err := core.NewContext(l, s.Platforms, s.Avail)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx.Workers = s.Workers
+	res, err := ctx.Optimize(s.Model)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := OptimizeResponse{
+		PredictedRuntimeSec: res.Predicted,
+		Stats: StatsJSON{
+			VectorsCreated: res.Stats.VectorsCreated,
+			Merges:         res.Stats.Merges,
+			ModelCalls:     res.Stats.ModelCalls,
+			Pruned:         res.Stats.Pruned,
+			PeakEnumSize:   res.Stats.PeakEnumSize,
+		},
+		OptimizationMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, p := range res.Execution.Assign {
+		resp.Assignments = append(resp.Assignments, p.String())
+	}
+	for _, conv := range res.Execution.Conversions {
+		resp.Conversions = append(resp.Conversions, ConversionJSON{
+			Name:     conv.Name(),
+			AfterOp:  int(conv.AfterOp),
+			BeforeOp: int(conv.BeforeOp),
+			Tuples:   conv.Card,
+		})
+	}
+	if r.URL.Query().Get("simulate") == "1" && s.Cluster != nil {
+		run := s.Cluster.Run(res.Execution)
+		resp.SimulatedRuntimeSec = run.Runtime
+		resp.SimulatedLabel = run.Label()
+	}
+
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.TotalMs += resp.OptimizationMs
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.mu.Lock()
+		s.stats.LastError = err.Error()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.Failures++
+	s.stats.LastError = err.Error()
+	s.mu.Unlock()
+	http.Error(w, err.Error(), code)
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	avg := 0.0
+	if n := s.stats.Requests - s.stats.Failures; n > 0 {
+		avg = s.stats.TotalMs / float64(n)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"requests":  s.stats.Requests,
+		"failures":  s.stats.Failures,
+		"avgMs":     avg,
+		"lastError": s.stats.LastError,
+	})
+}

@@ -1,0 +1,111 @@
+package simulator_test
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+// TestSparkFinishesTerabyteWordCount guards the calibration the Figure 11
+// grid depends on: the parallel platforms must complete the 1TB WordCount
+// within the one-hour budget while Java OOMs.
+func TestSparkFinishesTerabyteWordCount(t *testing.T) {
+	c := simulator.Default()
+	r, err := c.RunAllOn(workload.WordCount(workload.TB), platform.Spark, platform.DefaultAvailability())
+	if err != nil {
+		t.Fatalf("RunAllOn: %v", err)
+	}
+	if r.Failed() {
+		t.Fatalf("Spark failed 1TB WordCount: %s", r.Label())
+	}
+}
+
+// TestPostgresPathologicalForIterative: Postgres must be a poor choice for
+// iterative workloads (the premise of CrocoPR-PG needing cross-platform
+// execution).
+func TestPostgresPathologicalForIterative(t *testing.T) {
+	c := simulator.Default()
+	avail := platform.DefaultAvailability()
+	// Build an iterative relational plan Postgres can nominally run.
+	b := plan.NewBuilder(100)
+	src := b.Source(platform.TableSource, "t", 1e6)
+	f := b.Add(platform.Filter, "f", platform.Logarithmic, 0.9, src)
+	r := b.Add(platform.ReduceBy, "r", platform.Linear, 0.5, f)
+	b.Loop(50, f, r)
+	b.Add(platform.CollectionSink, "s", platform.Logarithmic, 1, r)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	pg, err := c.RunAllOn(l, platform.Postgres, avail)
+	if err != nil {
+		t.Fatalf("RunAllOn(Postgres): %v", err)
+	}
+	sp, err := c.RunAllOn(l, platform.Spark, avail)
+	if err != nil {
+		t.Fatalf("RunAllOn(Spark): %v", err)
+	}
+	if pg.Runtime < sp.Runtime {
+		t.Errorf("Postgres (%s) beat Spark (%s) on a 50-iteration loop", pg.Label(), sp.Label())
+	}
+}
+
+// TestStartupChargedOncePerPlatform: using a platform for two operators must
+// not double its startup cost.
+func TestStartupChargedOncePerPlatform(t *testing.T) {
+	c := simulator.Default()
+	l := workload.Pipeline(6, 10*workload.MB)
+	one := make([]platform.ID, l.NumOps())
+	for i := range one {
+		one[i] = platform.Spark
+	}
+	x1, err := plan.NewExecution(l, one)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	r1 := c.Run(x1)
+	// Same plan, one op moved to Flink: adds Flink startup + conversions,
+	// but Spark startup must not repeat.
+	two := append([]platform.ID(nil), one...)
+	two[2] = platform.Flink
+	x2, err := plan.NewExecution(l, two)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	r2 := c.Run(x2)
+	extra := r2.Runtime - r1.Runtime
+	flinkStartup := c.Specs[platform.Flink].Startup
+	if extra < flinkStartup*0.9 {
+		t.Errorf("moving one op to Flink added only %.2fs (< Flink startup %.2fs)", extra, flinkStartup)
+	}
+	if extra > flinkStartup+2*c.ConversionCost(l.Op(1).OutputCard)+1 {
+		t.Errorf("moving one op to Flink added %.2fs — more than startup+conversions", extra)
+	}
+}
+
+// TestGraphXNeverFastestOnTableIIQueries documents that GraphX exists as an
+// alternative but is dominated on the non-graph workloads — the optimizer
+// must learn to avoid it.
+func TestGraphXCostsMoreThanSparkOnMap(t *testing.T) {
+	c := simulator.Default()
+	gx := c.OpCostIsolated(platform.GraphX, platform.Map, platform.Linear, 1e7, 1e7, 100)
+	sp := c.OpCostIsolated(platform.Spark, platform.Map, platform.Linear, 1e7, 1e7, 100)
+	if gx <= sp {
+		t.Errorf("GraphX map (%g) not costlier than Spark (%g)", gx, sp)
+	}
+}
+
+// TestTupleSizeMatters: wider tuples move and scan slower.
+func TestTupleSizeMatters(t *testing.T) {
+	c := simulator.Default()
+	narrow := plan.Conversion{Card: 1e7}
+	_ = narrow
+	lo := c.ConversionCost(1e5)
+	hi := c.ConversionCost(1e8)
+	if hi <= lo {
+		t.Errorf("conversion cost not increasing with cardinality: %g vs %g", lo, hi)
+	}
+}

@@ -1,0 +1,261 @@
+package simulator_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/workload"
+)
+
+func runAllOn(t *testing.T, c *simulator.Cluster, l *plan.Logical, p platform.ID) simulator.Result {
+	t.Helper()
+	r, err := c.RunAllOn(l, p, platform.DefaultAvailability())
+	if err != nil {
+		t.Fatalf("RunAllOn(%s): %v", p, err)
+	}
+	return r
+}
+
+// TestJavaWinsSmallSparkWinsLarge checks the central crossover the paper's
+// evaluation depends on (Fig. 11a).
+func TestJavaWinsSmallSparkWinsLarge(t *testing.T) {
+	c := simulator.Default()
+	small := workload.WordCount(30 * workload.MB)
+	rj := runAllOn(t, c, small, platform.Java)
+	rs := runAllOn(t, c, small, platform.Spark)
+	if rj.Failed() || rj.Runtime >= rs.Runtime {
+		t.Errorf("30MB: Java %v should beat Spark %v", rj.Label(), rs.Label())
+	}
+	large := workload.WordCount(6 * workload.GB)
+	rj = runAllOn(t, c, large, platform.Java)
+	rs = runAllOn(t, c, large, platform.Spark)
+	if rs.Failed() {
+		t.Errorf("6GB on Spark failed: %v", rs.Label())
+	}
+	if !rj.Failed() && rj.Runtime <= rs.Runtime {
+		t.Errorf("6GB: Spark %v should beat Java %v", rs.Label(), rj.Label())
+	}
+}
+
+func TestJavaOOMOnHugeInput(t *testing.T) {
+	c := simulator.Default()
+	r := runAllOn(t, c, workload.WordCount(1*workload.TB), platform.Java)
+	if !r.OOM {
+		t.Fatalf("1TB WordCount on Java should OOM, got %v", r.Label())
+	}
+	if !math.IsInf(r.Runtime, 1) {
+		t.Errorf("OOM runtime = %g, want +Inf", r.Runtime)
+	}
+	if r.Label() != "out-of-memory" {
+		t.Errorf("label = %q", r.Label())
+	}
+}
+
+func TestTimeoutAbortsLongRuns(t *testing.T) {
+	c := simulator.Default()
+	r := runAllOn(t, c, workload.WordCount(1*workload.TB), platform.Flink)
+	if !r.TimedOut {
+		t.Fatalf("1TB WordCount on Flink should abort, got %v", r.Label())
+	}
+	if r.Runtime != c.Timeout {
+		t.Errorf("aborted runtime = %g, want %g", r.Runtime, c.Timeout)
+	}
+	if r.Label() != "aborted after 1 hour" {
+		t.Errorf("label = %q", r.Label())
+	}
+}
+
+// TestRuntimeMonotoneInInputSize: more data never runs faster on the same
+// plan shape and platform.
+func TestRuntimeMonotoneInInputSize(t *testing.T) {
+	c := simulator.Default()
+	for _, p := range []platform.ID{platform.Java, platform.Spark, platform.Flink} {
+		prev := 0.0
+		for _, mb := range []float64{1, 10, 100, 1000} {
+			r := runAllOn(t, c, workload.WordCount(mb*workload.MB), p)
+			if r.Failed() {
+				break // OOM/timeout ends the comparable range
+			}
+			if r.Runtime < prev {
+				t.Errorf("%s: runtime decreased from %g to %g at %gMB", p, prev, r.Runtime, mb)
+			}
+			prev = r.Runtime
+		}
+	}
+}
+
+// TestBroadcastLoopNonlinearity: placing only the in-loop Broadcast on Java
+// must beat the all-Spark plan (the K-means effect, Fig. 12a).
+func TestBroadcastLoopNonlinearity(t *testing.T) {
+	c := simulator.Default()
+	l := workload.Kmeans(1*workload.GB, workload.DefaultKmeans)
+	allSpark := runAllOn(t, c, l, platform.Spark)
+
+	assign := make([]platform.ID, l.NumOps())
+	for i := range assign {
+		assign[i] = platform.Spark
+	}
+	for _, o := range l.Ops {
+		if o.Kind == platform.Broadcast {
+			assign[o.ID] = platform.Java
+		}
+	}
+	x, err := plan.NewExecution(l, assign)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	mixed := c.Run(x)
+	if mixed.Runtime*1.5 >= allSpark.Runtime {
+		t.Errorf("Java broadcast %v should be well under all-Spark %v", mixed.Label(), allSpark.Label())
+	}
+	// The benefit must grow with the number of centroids (paper: "the
+	// benefit increases with the number of centroids").
+	gain := func(centroids int) float64 {
+		lc := workload.Kmeans(1*workload.GB, workload.KmeansParams{Centroids: centroids, Iterations: 10})
+		all := runAllOn(t, c, lc, platform.Spark)
+		a2 := make([]platform.ID, lc.NumOps())
+		for i := range a2 {
+			a2[i] = platform.Spark
+		}
+		for _, o := range lc.Ops {
+			if o.Kind == platform.Broadcast {
+				a2[o.ID] = platform.Java
+			}
+		}
+		x2, err := plan.NewExecution(lc, a2)
+		if err != nil {
+			t.Fatalf("NewExecution: %v", err)
+		}
+		return all.Runtime / c.Run(x2).Runtime
+	}
+	if g10, g1000 := gain(10), gain(1000); g1000 <= g10 {
+		t.Errorf("broadcast gain should grow with centroids: %g (10) vs %g (1000)", g10, g1000)
+	}
+}
+
+// TestCacheSampleStateLoss: a Cache directly before an in-loop Sample on the
+// same parallel platform repeats the shuffle every iteration (the SGD
+// effect, Fig. 12b).
+func TestCacheSampleStateLoss(t *testing.T) {
+	c := simulator.Default()
+	l := workload.SGD(7.4*workload.GB, workload.DefaultSGD)
+	allSpark := runAllOn(t, c, l, platform.Spark)
+
+	// Same plan but cache on Java: sample state on Spark is preserved.
+	assign := make([]platform.ID, l.NumOps())
+	var cacheID, sampleID plan.OpID
+	for _, o := range l.Ops {
+		assign[o.ID] = platform.Java
+		if o.Kind == platform.Cache {
+			cacheID = o.ID
+		}
+		if o.Kind == platform.Sample {
+			sampleID = o.ID
+		}
+	}
+	_ = cacheID
+	_ = sampleID
+	x, err := plan.NewExecution(l, assign)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	allJava := c.Run(x)
+	if allJava.Failed() {
+		t.Fatalf("all-Java SGD failed: %v", allJava.Label())
+	}
+	// The state-loss plan must be clearly worse than the Java sample plan.
+	if allSpark.Runtime <= allJava.Runtime {
+		t.Errorf("state-loss all-Spark %v should lose to all-Java %v", allSpark.Label(), allJava.Label())
+	}
+}
+
+func TestConversionChargedOncePerLoopEntry(t *testing.T) {
+	c := simulator.Default()
+	// Two-platform SGD: source+cache on Spark, the rest on Java. The
+	// spark->java conversion crosses the loop boundary and must be
+	// charged once, not per iteration.
+	l := workload.SGD(1*workload.GB, workload.SGDParams{BatchSize: 100, Iterations: 50})
+	assign := make([]platform.ID, l.NumOps())
+	for i := range assign {
+		assign[i] = platform.Java
+	}
+	assign[0] = platform.Spark // source
+	assign[1] = platform.Spark // cache
+	x, err := plan.NewExecution(l, assign)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	r := c.Run(x)
+	oneConv := c.ConversionCost(l.Op(1).OutputCard)
+	if r.Movement > oneConv*1.5 {
+		t.Errorf("movement %g suggests per-iteration charging (single conversion costs %g)", r.Movement, oneConv)
+	}
+}
+
+func TestConversionRepeatsInsideLoop(t *testing.T) {
+	c := simulator.Default()
+	l := workload.Kmeans(100*workload.MB, workload.DefaultKmeans)
+	// Loop body split across platforms: reduce on Spark, broadcast Java.
+	assign := make([]platform.ID, l.NumOps())
+	for i := range assign {
+		assign[i] = platform.Spark
+	}
+	for _, o := range l.Ops {
+		if o.Kind == platform.Broadcast {
+			assign[o.ID] = platform.Java
+		}
+	}
+	x, err := plan.NewExecution(l, assign)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	r := c.Run(x)
+	// Both in-loop crossing edges repeat x10 iterations.
+	single := c.ConversionCost(float64(workload.DefaultKmeans.Centroids))
+	if r.Movement < single*float64(workload.DefaultKmeans.Iterations) {
+		t.Errorf("movement %g too small for per-iteration conversions (single=%g)", r.Movement, single)
+	}
+}
+
+func TestPostgresPushdownCheap(t *testing.T) {
+	c := simulator.Default()
+	filterCost := c.OpCostIsolated(platform.Postgres, platform.Filter, platform.Logarithmic, 1e6, 5e5, 100)
+	mapCost := c.OpCostIsolated(platform.Postgres, platform.Map, platform.Logarithmic, 1e6, 5e5, 100)
+	if filterCost >= mapCost {
+		t.Errorf("Postgres filter (%g) should be cheaper than emulated map (%g)", filterCost, mapCost)
+	}
+}
+
+func TestRunAllOnRejectsMissingOperators(t *testing.T) {
+	c := simulator.Default()
+	l := workload.WordCount(1 * workload.MB)
+	if _, err := c.RunAllOn(l, platform.Postgres, platform.DefaultAvailability()); err == nil {
+		t.Fatal("Postgres cannot run WordCount (no FlatMap) but RunAllOn accepted it")
+	}
+}
+
+func TestResultPerOpBreakdownSums(t *testing.T) {
+	c := simulator.Default()
+	l := workload.WordCount(100 * workload.MB)
+	r := runAllOn(t, c, l, platform.Spark)
+	sum := r.Movement + c.Specs[platform.Spark].Startup
+	for _, v := range r.PerOp {
+		sum += v
+	}
+	if math.Abs(sum-r.Runtime) > 1e-9*r.Runtime {
+		t.Errorf("breakdown sums to %g, runtime %g", sum, r.Runtime)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := simulator.Default()
+	l := workload.CrocoPR(1*workload.GB, workload.DefaultCrocoPR)
+	r1 := runAllOn(t, c, l, platform.Spark)
+	r2 := runAllOn(t, c, l, platform.Spark)
+	if r1.Runtime != r2.Runtime {
+		t.Fatalf("simulator is not deterministic: %g vs %g", r1.Runtime, r2.Runtime)
+	}
+}

@@ -1,0 +1,99 @@
+package tdgen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interpolator imputes runtimes by piecewise polynomial interpolation with
+// degree 5 over executed (cardinality, runtime) points (Section VI-B: "we
+// use piecewise polynomial interpolation with degree 5 in order to learn the
+// function that fits the points of Jr"; footnote 3: "degree 5 was giving us
+// better accuracy without sacrificing runtime"). For a query point it picks
+// the window of the 6 nearest known points and evaluates the Newton
+// divided-difference form of the interpolating polynomial.
+type Interpolator struct {
+	xs []float64
+	ys []float64
+	// Degree is the polynomial degree per piece (window size − 1).
+	Degree int
+}
+
+// NewInterpolator builds an interpolator over the executed points. Points
+// are sorted by x; duplicate x values keep the first y. At least one point
+// is required.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("tdgen: %d x-values but %d y-values", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("tdgen: interpolation needs at least one executed point")
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	in := &Interpolator{Degree: 5}
+	for i, p := range pts {
+		if i > 0 && p.x == pts[i-1].x {
+			continue
+		}
+		in.xs = append(in.xs, p.x)
+		in.ys = append(in.ys, p.y)
+	}
+	return in, nil
+}
+
+// At returns the interpolated runtime at cardinality x.
+func (in *Interpolator) At(x float64) float64 {
+	n := in.Degree + 1
+	if n > len(in.xs) {
+		n = len(in.xs)
+	}
+	lo := in.window(x, n)
+	y := newtonEval(in.xs[lo:lo+n], in.ys[lo:lo+n], x)
+	if y < 0 {
+		// Runtimes are nonnegative; polynomial wiggle below zero is
+		// clamped.
+		y = 0
+	}
+	return y
+}
+
+// window returns the start index of the n consecutive known points nearest
+// to x.
+func (in *Interpolator) window(x float64, n int) int {
+	// Position of the first known x >= query.
+	i := sort.SearchFloat64s(in.xs, x)
+	lo := i - n/2
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+n > len(in.xs) {
+		lo = len(in.xs) - n
+	}
+	return lo
+}
+
+// newtonEval computes the Newton divided-difference interpolating polynomial
+// through (xs, ys) and evaluates it at x. The inputs must have equal length
+// ≥ 1 with strictly increasing xs.
+func newtonEval(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	coef := make([]float64, n)
+	copy(coef, ys)
+	// Divided differences in place: coef[j] becomes f[x0..xj].
+	for level := 1; level < n; level++ {
+		for j := n - 1; j >= level; j-- {
+			coef[j] = (coef[j] - coef[j-1]) / (xs[j] - xs[j-level])
+		}
+	}
+	// Horner evaluation of the Newton form.
+	y := coef[n-1]
+	for j := n - 2; j >= 0; j-- {
+		y = y*(x-xs[j]) + coef[j]
+	}
+	return y
+}

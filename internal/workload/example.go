@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+// RunningExample builds the paper's running example (Fig. 3a): classify
+// customers of a country by the total amount of their credit card
+// transactions in the last month. Operator IDs follow the figure (o1..o9 map
+// to IDs 0..8) and the cardinalities match Fig. 5 (40M transactions, 2M
+// customers).
+func RunningExample() *plan.Logical {
+	b := plan.NewBuilder(120)
+	trans := b.Source(platform.TextFileSource, "transactions", 40e6)                 // o1
+	month := b.Add(platform.Filter, "month", platform.Logarithmic, 0.25, trans)      // o2
+	cust := b.Source(platform.TextFileSource, "customers", 2e6)                      // o3
+	country := b.Add(platform.Filter, "country", platform.Logarithmic, 0.05, cust)   // o4
+	proj := b.Add(platform.Map, "project", platform.Logarithmic, 1, country)         // o5
+	join := b.Add(platform.Join, "customer_id", platform.Linear, 0.009, month, proj) // o6
+	agg := b.Add(platform.ReduceBy, "sum_&_count", platform.Linear, 0.155, join)     // o7
+	label := b.Add(platform.Map, "label", platform.Logarithmic, 1, agg)              // o8
+	b.Add(platform.CollectionSink, "collect", platform.Logarithmic, 1, label)        // o9
+	return b.MustBuild()
+}

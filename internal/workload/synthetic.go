@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+// Pipeline builds a synthetic pipeline dataflow with exactly nOps operators
+// (source, nOps-2 unary operators, sink). It is the plan family of the
+// efficiency and scalability experiments (Figure 1's 40-operator synthetic
+// task, Figure 9, Table I), with a deterministic rotation of operator kinds.
+func Pipeline(nOps int, bytes float64) *plan.Logical {
+	if nOps < 3 {
+		panic(fmt.Sprintf("workload: pipeline needs at least 3 operators, got %d", nOps))
+	}
+	const tupleBytes = 100
+	kinds := []platform.Kind{
+		platform.Map, platform.Filter, platform.FlatMap, platform.Project,
+		platform.ReduceBy, platform.Map, platform.Filter, platform.GroupBy,
+	}
+	udfs := []platform.Complexity{platform.Linear, platform.Logarithmic, platform.Linear, platform.Quadratic}
+	b := plan.NewBuilder(tupleBytes)
+	cur := b.Source(platform.TextFileSource, "input", bytes/tupleBytes)
+	for i := 0; i < nOps-2; i++ {
+		k := kinds[i%len(kinds)]
+		sel := 0.9
+		if k == platform.FlatMap {
+			sel = 1.5
+		}
+		cur = b.Add(k, fmt.Sprintf("op%d", i), udfs[i%len(udfs)], sel, cur)
+	}
+	b.Add(platform.CollectionSink, "collect", platform.Logarithmic, 1, cur)
+	return b.MustBuild()
+}
+
+// JoinTree builds a left-deep join query with the given number of joins:
+// nJoins+1 filtered sources joined pairwise, then an aggregation tail. It is
+// the plan family of the enumeration-order experiment (Figure 10).
+func JoinTree(nJoins int, bytes float64) *plan.Logical {
+	if nJoins < 1 {
+		panic(fmt.Sprintf("workload: join tree needs at least 1 join, got %d", nJoins))
+	}
+	const tupleBytes = 120
+	b := plan.NewBuilder(tupleBytes)
+	makeBranch := func(i int) plan.OpID {
+		src := b.Source(platform.TableSource, fmt.Sprintf("rel%d", i), bytes/tupleBytes/float64(i+1))
+		filt := b.Add(platform.Filter, fmt.Sprintf("filter%d", i), platform.Logarithmic, 0.5, src)
+		return b.Add(platform.Project, fmt.Sprintf("project%d", i), platform.Logarithmic, 1, filt)
+	}
+	left := makeBranch(0)
+	for j := 1; j <= nJoins; j++ {
+		right := makeBranch(j)
+		left = b.Add(platform.Join, fmt.Sprintf("join%d", j), platform.Linear, 0.4, left, right)
+	}
+	agg := b.Add(platform.ReduceBy, "aggregate", platform.Linear, 0.1, left)
+	sorted := b.Add(platform.Sort, "order-by", platform.Linear, 1, agg)
+	b.Add(platform.CollectionSink, "collect", platform.Logarithmic, 1, sorted)
+	return b.MustBuild()
+}
+
+// RandomDAG builds a random synthetic dataflow of roughly nOps operators
+// mixing pipelines and junctures, seeded deterministically. It is used by
+// property tests and the failure-injection suites.
+func RandomDAG(nOps int, bytes float64, seed int64) *plan.Logical {
+	if nOps < 3 {
+		nOps = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const tupleBytes = 100
+	b := plan.NewBuilder(tupleBytes)
+	// Open heads: operators still missing a consumer.
+	heads := []plan.OpID{b.Source(platform.TextFileSource, "src0", bytes/tupleBytes)}
+	n := 1
+	srcCount := 1
+	unary := []platform.Kind{platform.Map, platform.Filter, platform.FlatMap, platform.ReduceBy, platform.Project, platform.Distinct}
+	for n < nOps-1 {
+		switch {
+		case len(heads) >= 2 && rng.Intn(4) == 0:
+			// Close two heads with a join.
+			i := rng.Intn(len(heads))
+			a := heads[i]
+			heads = append(heads[:i], heads[i+1:]...)
+			j := rng.Intn(len(heads))
+			bID := heads[j]
+			heads[j] = b.Add(platform.Join, fmt.Sprintf("join%d", n), platform.Linear, 0.5, a, bID)
+			n++
+		case rng.Intn(6) == 0 && n < nOps-3:
+			// Add another source branch.
+			heads = append(heads, b.Source(platform.TextFileSource, fmt.Sprintf("src%d", srcCount), bytes/tupleBytes/2))
+			srcCount++
+			n++
+		default:
+			i := rng.Intn(len(heads))
+			k := unary[rng.Intn(len(unary))]
+			sel := 0.3 + 0.7*rng.Float64()
+			heads[i] = b.Add(k, fmt.Sprintf("op%d", n), platform.Linear, sel, heads[i])
+			n++
+		}
+	}
+	// Join remaining heads, then sink.
+	for len(heads) > 1 {
+		a, bID := heads[len(heads)-2], heads[len(heads)-1]
+		heads = heads[:len(heads)-2]
+		heads = append(heads, b.Add(platform.Union, fmt.Sprintf("union%d", n), platform.Logarithmic, 1, a, bID))
+		n++
+	}
+	b.Add(platform.CollectionSink, "collect", platform.Logarithmic, 1, heads[0])
+	return b.MustBuild()
+}

@@ -1,0 +1,160 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestCatalogOperatorCountsMatchTable2(t *testing.T) {
+	for _, q := range workload.Catalog() {
+		l := q.Build(q.MinBytes)
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: invalid plan: %v", q.Name, err)
+			continue
+		}
+		if l.NumOps() != q.Operators {
+			t.Errorf("%s: %d operators, Table II declares %d", q.Name, l.NumOps(), q.Operators)
+		}
+		lMax := q.Build(q.MaxBytes)
+		if lMax.NumOps() != q.Operators {
+			t.Errorf("%s: operator count changed with dataset size", q.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	q, err := workload.ByName("WordCount")
+	if err != nil || q.Name != "WordCount" {
+		t.Fatalf("ByName(WordCount) = %v, %v", q.Name, err)
+	}
+	if _, err := workload.ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown query")
+	}
+}
+
+func TestIterativeQueriesHaveLoops(t *testing.T) {
+	cases := map[string]*struct{ hasLoop bool }{
+		"Kmeans": {}, "SGD": {}, "CrocoPR": {}, "SimWords": {},
+	}
+	for _, q := range workload.Catalog() {
+		c, ok := cases[q.Name]
+		if !ok {
+			continue
+		}
+		l := q.Build(q.MinBytes)
+		c.hasLoop = l.AnalyzeTopology().Loops > 0
+	}
+	for name, c := range cases {
+		if !c.hasLoop {
+			t.Errorf("%s: expected a loop topology", name)
+		}
+	}
+}
+
+func TestSGDHasCacheBeforeSample(t *testing.T) {
+	l := workload.SGD(workload.GB, workload.DefaultSGD)
+	foundPair := false
+	for _, o := range l.Ops {
+		if o.Kind == platform.Sample && len(o.In) == 1 && l.Op(o.In[0]).Kind == platform.Cache {
+			foundPair = true
+			if o.LoopID == 0 {
+				t.Error("SGD sample is not inside the loop")
+			}
+		}
+	}
+	if !foundPair {
+		t.Error("SGD plan is missing the Cache->Sample pair the paper's anecdote depends on")
+	}
+}
+
+func TestKmeansBroadcastInLoop(t *testing.T) {
+	l := workload.Kmeans(workload.GB, workload.DefaultKmeans)
+	for _, o := range l.Ops {
+		if o.Kind == platform.Broadcast && o.LoopID == 0 {
+			t.Error("K-means broadcast must be inside the loop")
+		}
+	}
+	// The centroid cardinality must follow the parameter.
+	l2 := workload.Kmeans(workload.GB, workload.KmeansParams{Centroids: 1000, Iterations: 5})
+	var bcast1, bcast2 float64
+	for _, o := range l.Ops {
+		if o.Kind == platform.Broadcast {
+			bcast1 = o.InputCard
+		}
+	}
+	for _, o := range l2.Ops {
+		if o.Kind == platform.Broadcast {
+			bcast2 = o.InputCard
+		}
+	}
+	if bcast2 <= bcast1 {
+		t.Errorf("broadcast cardinality did not grow with centroids: %g vs %g", bcast1, bcast2)
+	}
+}
+
+func TestCrocoPRVariants(t *testing.T) {
+	hdfs := workload.CrocoPR(workload.GB, workload.CrocoPRParams{Iterations: 5})
+	pg := workload.CrocoPR(workload.GB, workload.CrocoPRParams{Iterations: 5, InPostgres: true})
+	if hdfs.NumOps() != pg.NumOps() {
+		t.Errorf("variants differ in size: %d vs %d", hdfs.NumOps(), pg.NumOps())
+	}
+	if pg.Op(0).Kind != platform.TableSource {
+		t.Errorf("PG variant source = %v, want TableSource", pg.Op(0).Kind)
+	}
+	if hdfs.Op(0).Kind != platform.TextFileSource {
+		t.Errorf("HDFS variant source = %v, want TextFileSource", hdfs.Op(0).Kind)
+	}
+}
+
+func TestSyntheticGenerators(t *testing.T) {
+	for _, n := range []int{3, 10, 41, 80} {
+		l := workload.Pipeline(n, workload.GB)
+		if l.NumOps() != n {
+			t.Errorf("Pipeline(%d) has %d ops", n, l.NumOps())
+		}
+		topo := l.AnalyzeTopology()
+		if topo.Junctures != 0 || topo.Loops != 0 {
+			t.Errorf("Pipeline(%d) is not a pure pipeline: %+v", n, topo)
+		}
+	}
+	for _, j := range []int{1, 3, 5} {
+		l := workload.JoinTree(j, workload.GB)
+		if got := l.AnalyzeTopology().Junctures; got != j {
+			t.Errorf("JoinTree(%d) has %d junctures", j, got)
+		}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		l := workload.RandomDAG(15, workload.GB, seed)
+		if err := l.Validate(); err != nil {
+			t.Errorf("RandomDAG seed %d invalid: %v", seed, err)
+		}
+	}
+	// Determinism.
+	a := workload.RandomDAG(15, workload.GB, 3)
+	b := workload.RandomDAG(15, workload.GB, 3)
+	if a.NumOps() != b.NumOps() {
+		t.Error("RandomDAG is not deterministic")
+	}
+}
+
+func TestPipelinePanicsOnTinyPlans(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pipeline(2) did not panic")
+		}
+	}()
+	workload.Pipeline(2, workload.GB)
+}
+
+func TestRunningExampleMatchesFig3(t *testing.T) {
+	l := workload.RunningExample()
+	if l.NumOps() != 9 {
+		t.Fatalf("running example has %d ops, want 9", l.NumOps())
+	}
+	topo := l.AnalyzeTopology()
+	if topo.Pipelines != 3 || topo.Junctures != 1 {
+		t.Errorf("topology = %+v, want 3 pipelines and 1 juncture (Fig. 5)", topo)
+	}
+}

@@ -1,0 +1,354 @@
+// Package robopt is a Go reproduction of "ML-based Cross-Platform Query
+// Optimization" (Kaoudi, Quiané-Ruiz et al., ICDE 2020): a vector-based
+// cross-platform query optimizer that replaces the hand-tuned cost model of
+// a Rheem-style system with an ML model and runs the entire plan enumeration
+// on flat feature vectors.
+//
+// The package is a facade over the internal implementation:
+//
+//   - NewPlanBuilder constructs logical (platform-agnostic) query plans.
+//   - Train fits the runtime-prediction model from TDGen-generated training
+//     data executed on the simulated cross-platform cluster.
+//   - Optimizer.Optimize enumerates execution plans with ML-driven boundary
+//     pruning in priority order and returns the cheapest plan, including
+//     the conversion (data movement) operators between platforms.
+//
+// A minimal session:
+//
+//	opt, err := robopt.Train(robopt.QuickTraining())
+//	...
+//	b := robopt.NewPlanBuilder(100)
+//	src := b.Source(robopt.TextFileSource, "data", 1e7)
+//	cnt := b.Add(robopt.ReduceBy, "count", robopt.Linear, 0.1, src)
+//	b.Add(robopt.CollectionSink, "collect", robopt.Logarithmic, 1, cnt)
+//	p, err := b.Build()
+//	...
+//	res, err := opt.Optimize(p)
+//	fmt.Println(res.Execution)
+package robopt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mlmodel"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/simulator"
+	"repro/internal/tdgen"
+)
+
+// Re-exported core types. Downstream users interact with these through the
+// facade; the internal packages are not importable outside this module.
+type (
+	// Plan is a logical, platform-agnostic query plan.
+	Plan = plan.Logical
+	// PlanBuilder incrementally constructs a Plan.
+	PlanBuilder = plan.Builder
+	// Execution is a platform-specific execution plan with conversion
+	// operators on every platform switch.
+	Execution = plan.Execution
+	// Platform identifies a data processing platform.
+	Platform = platform.ID
+	// OperatorKind is a platform-agnostic logical operator kind.
+	OperatorKind = platform.Kind
+	// Complexity classifies an operator's UDF CPU cost.
+	Complexity = platform.Complexity
+	// Availability maps operator kinds to implementing platforms.
+	Availability = platform.Availability
+	// Stats counts the enumeration work of one optimization.
+	Stats = core.Stats
+	// Cluster is the simulated cross-platform deployment.
+	Cluster = simulator.Cluster
+	// RunResult is the outcome of simulating an execution plan.
+	RunResult = simulator.Result
+	// SeedQuery is a user workload query the training data generator can
+	// mimic (TDGen generation option (i)).
+	SeedQuery = tdgen.SeedQuery
+)
+
+// Platforms.
+const (
+	Java     = platform.Java
+	Spark    = platform.Spark
+	Flink    = platform.Flink
+	Postgres = platform.Postgres
+	GraphX   = platform.GraphX
+)
+
+// UDF complexity classes.
+const (
+	Logarithmic    = platform.Logarithmic
+	Linear         = platform.Linear
+	Quadratic      = platform.Quadratic
+	SuperQuadratic = platform.SuperQuadratic
+)
+
+// Frequently used operator kinds (the full set lives on OperatorKind).
+const (
+	TextFileSource   = platform.TextFileSource
+	CollectionSource = platform.CollectionSource
+	TableSource      = platform.TableSource
+	Map              = platform.Map
+	FlatMap          = platform.FlatMap
+	Filter           = platform.Filter
+	Project          = platform.Project
+	Sample           = platform.Sample
+	Distinct         = platform.Distinct
+	Sort             = platform.Sort
+	ReduceBy         = platform.ReduceBy
+	GroupBy          = platform.GroupBy
+	Count            = platform.Count
+	Cache            = platform.Cache
+	Broadcast        = platform.Broadcast
+	Join             = platform.Join
+	Union            = platform.Union
+	Replicate        = platform.Replicate
+	CollectionSink   = platform.CollectionSink
+	TextFileSink     = platform.TextFileSink
+)
+
+// NewPlanBuilder returns a builder for a logical plan over a dataset with
+// the given average tuple size in bytes.
+func NewPlanBuilder(avgTupleBytes float64) *PlanBuilder { return plan.NewBuilder(avgTupleBytes) }
+
+// AllPlatforms returns every supported platform.
+func AllPlatforms() []Platform { return platform.All() }
+
+// DefaultAvailability returns the realistic execution-operator matrix:
+// Java/Spark/Flink implement everything, Postgres the relational subset,
+// GraphX the graph subset.
+func DefaultAvailability() *Availability { return platform.DefaultAvailability() }
+
+// DefaultCluster returns the reference simulated cluster used for training
+// and evaluation.
+func DefaultCluster() *Cluster { return simulator.Default() }
+
+// TrainingOptions configures Train.
+type TrainingOptions struct {
+	// Platforms is the platform universe (default: all five).
+	Platforms []Platform
+	// Avail restricts execution operators (default: DefaultAvailability).
+	Avail *Availability
+	// Cluster executes the training jobs (default: DefaultCluster).
+	Cluster *Cluster
+	// MaxOps bounds the synthetic training plan sizes (default 50, as in
+	// the paper).
+	MaxOps int
+	// TemplatesPerShape, PlansPerTemplate and Profiles scale the training
+	// set (defaults 24, 14, 10).
+	TemplatesPerShape, PlansPerTemplate, Profiles int
+	// Trees and MaxDepth configure the boosted tree ensemble
+	// (defaults 300, 6).
+	Trees, MaxDepth int
+	// Seed makes training deterministic (default 2020).
+	Seed int64
+	// EnsembleMembers is the number of independently generated training
+	// sets (and models) averaged by the optimizer; more members cost
+	// proportionally more training time but stabilize plan ranking
+	// (default 3).
+	EnsembleMembers int
+	// SeedQueries optionally describes the expected workload; TDGen then
+	// also generates training plans resembling it (option (i) of the
+	// paper's Section VI). Off by default.
+	SeedQueries []SeedQuery
+}
+
+func (o TrainingOptions) withDefaults() TrainingOptions {
+	if len(o.Platforms) == 0 {
+		o.Platforms = platform.All()
+	}
+	if o.Avail == nil {
+		o.Avail = platform.DefaultAvailability()
+	}
+	if o.Cluster == nil {
+		o.Cluster = simulator.Default()
+	}
+	if o.MaxOps == 0 {
+		o.MaxOps = 50
+	}
+	if o.TemplatesPerShape == 0 {
+		o.TemplatesPerShape = 24
+	}
+	if o.PlansPerTemplate == 0 {
+		o.PlansPerTemplate = 14
+	}
+	if o.Profiles == 0 {
+		o.Profiles = 10
+	}
+	if o.Trees == 0 {
+		o.Trees = 300
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 6
+	}
+	if o.Seed == 0 {
+		o.Seed = 2020
+	}
+	if o.EnsembleMembers == 0 {
+		o.EnsembleMembers = 3
+	}
+	return o
+}
+
+// QuickTraining returns options that train in a couple of seconds at reduced
+// model quality — intended for tests and examples.
+func QuickTraining() TrainingOptions {
+	return TrainingOptions{
+		MaxOps:            20,
+		TemplatesPerShape: 5,
+		PlansPerTemplate:  6,
+		Profiles:          6,
+		Trees:             80,
+		MaxDepth:          5,
+		EnsembleMembers:   2,
+	}
+}
+
+// Optimizer is a trained ML-based cross-platform query optimizer.
+type Optimizer struct {
+	model     mlmodel.Model
+	platforms []Platform
+	avail     *Availability
+
+	// Workers enables intra-enumeration parallelism (merges and model
+	// calls fan out over this many goroutines). 0 runs serially; results
+	// are identical either way.
+	Workers int
+}
+
+// Train generates training data with TDGen on the simulated cluster, fits
+// the boosted-tree runtime model, and returns a ready optimizer. This is
+// the paper's zero-tuning setup: no cost-model coefficients, only logged
+// executions ("it took us only a couple of days of automatic training data
+// generation", Section VII-C).
+func Train(opts TrainingOptions) (*Optimizer, error) {
+	opts = opts.withDefaults()
+	cfg := tdgen.Config{
+		Shapes:            []tdgen.Shape{tdgen.ShapePipeline, tdgen.ShapeJuncture, tdgen.ShapeLoop},
+		MaxOps:            opts.MaxOps,
+		TemplatesPerShape: opts.TemplatesPerShape,
+		PlansPerTemplate:  opts.PlansPerTemplate,
+		Profiles:          opts.Profiles,
+		Platforms:         opts.Platforms,
+		Avail:             opts.Avail,
+		CardMax:           1e10,
+		SeedQueries:       opts.SeedQueries,
+		Seed:              opts.Seed,
+	}
+	ensemble := mlmodel.Ensemble{}
+	for i := 0; i < opts.EnsembleMembers; i++ {
+		memberCfg := cfg
+		memberCfg.Seed = cfg.Seed + int64(i)*101
+		ds, _, err := tdgen.New(memberCfg, opts.Cluster).Generate()
+		if err != nil {
+			return nil, fmt.Errorf("robopt: training data generation: %w", err)
+		}
+		trainer := mlmodel.LogTargetTrainer{Inner: mlmodel.GBMTrainer{Config: mlmodel.GBMConfig{
+			Trees:    opts.Trees,
+			MaxDepth: opts.MaxDepth,
+			LR:       0.1,
+			MinLeaf:  5,
+			Seed:     opts.Seed + 1 + int64(i)*211,
+			Parallel: true,
+		}}}
+		m, err := trainer.Fit(ds)
+		if err != nil {
+			return nil, fmt.Errorf("robopt: model training: %w", err)
+		}
+		ensemble.Models = append(ensemble.Models, m)
+	}
+	return &Optimizer{model: ensemble, platforms: opts.Platforms, avail: opts.Avail}, nil
+}
+
+// NewOptimizerWithModel wraps a pre-fitted model (any regression model
+// satisfying Predict([]float64) float64) as an optimizer.
+func NewOptimizerWithModel(model mlmodel.Model, platforms []Platform, avail *Availability) *Optimizer {
+	return &Optimizer{model: model, platforms: platforms, avail: avail}
+}
+
+// Result is the outcome of one optimization.
+type Result struct {
+	// Execution is the chosen platform-specific plan.
+	Execution *Execution
+	// PredictedRuntime is the model's estimate for it, in seconds.
+	PredictedRuntime float64
+	// Stats counts the enumeration work performed.
+	Stats Stats
+}
+
+// Optimize returns the cheapest execution plan for the logical plan
+// according to the trained model, enumerating with boundary pruning in
+// priority order (Algorithm 1).
+func (o *Optimizer) Optimize(p *Plan) (*Result, error) {
+	ctx, err := core.NewContext(p, o.platforms, o.avail)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Workers = o.Workers
+	res, err := ctx.Optimize(o.model)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Execution: res.Execution, PredictedRuntime: res.Predicted, Stats: res.Stats}, nil
+}
+
+// OptimizeSinglePlatform returns the best plan that uses exactly one
+// platform (the paper's single-platform execution mode).
+func (o *Optimizer) OptimizeSinglePlatform(p *Plan) (*Result, error) {
+	ctx, err := core.NewContext(p, o.platforms, o.avail)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	for pi, pl := range o.platforms {
+		ok := true
+		for _, op := range p.Ops {
+			if !o.avail.Has(op.Kind, pl) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		assign := make([]uint8, p.NumOps())
+		for i := range assign {
+			assign[i] = uint8(pi)
+		}
+		v := ctx.VectorizeExecution(assign)
+		cost := o.model.Predict(v.F)
+		if best == nil || cost < best.PredictedRuntime {
+			x, err := ctx.Unvectorize(v)
+			if err != nil {
+				return nil, err
+			}
+			best = &Result{Execution: x, PredictedRuntime: cost}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("robopt: no single platform can run the whole plan")
+	}
+	return best, nil
+}
+
+// PredictRuntime returns the model's runtime estimate for an arbitrary
+// platform assignment of the plan (one platform per operator, in ID order).
+func (o *Optimizer) PredictRuntime(p *Plan, assign []Platform) (float64, error) {
+	ctx, err := core.NewContext(p, o.platforms, o.avail)
+	if err != nil {
+		return 0, err
+	}
+	if len(assign) != p.NumOps() {
+		return 0, fmt.Errorf("robopt: assignment covers %d of %d operators", len(assign), p.NumOps())
+	}
+	cols := make([]uint8, len(assign))
+	for i, pl := range assign {
+		pi := ctx.Schema.PlatIndex(pl)
+		if pi < 0 {
+			return 0, fmt.Errorf("robopt: platform %s not in the optimizer's universe", pl)
+		}
+		cols[i] = uint8(pi)
+	}
+	return o.model.Predict(ctx.VectorizeExecution(cols).F), nil
+}
