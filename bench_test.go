@@ -9,6 +9,7 @@ package robopt
 // in seconds; benchharness without -quick uses the full configuration).
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -103,7 +104,7 @@ func BenchmarkTable1(b *testing.B) {
 		}
 		b.Run(byOpsPlats(cfg.ops, cfg.plats), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ctx.Optimize(m); err != nil {
+				if _, err := ctx.Optimize(context.Background(), m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -182,7 +183,7 @@ func BenchmarkFigure9(b *testing.B) {
 			}
 			b.Run("Exhaustive/"+name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := ctx.OptimizeExhaustive(m, 0); err != nil {
+					if _, err := ctx.OptimizeExhaustive(context.Background(), m, 0); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -204,7 +205,7 @@ func BenchmarkFigure10(b *testing.B) {
 		for _, order := range []core.OrderPolicy{core.OrderPriority, core.OrderTopDown, core.OrderBottomUp} {
 			b.Run(order.String()+"/joins="+itoa(joins), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := ctx.OptimizeOpts(m, core.BoundaryPruner{Model: m}, order); err != nil {
+					if _, err := ctx.OptimizeOpts(context.Background(), m, core.BoundaryPruner{Model: m}, order); err != nil {
 						b.Fatal(err)
 					}
 				}

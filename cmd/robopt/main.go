@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -40,8 +42,11 @@ func main() {
 		saveModel = flag.String("save-model", "", "save the trained model to this path")
 		nPlats    = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
 		simulate  = flag.Bool("simulate", true, "also run the chosen plan on the simulated cluster")
-		verbose   = flag.Bool("v", false, "print the LOT/COT tables")
+		verbose   = flag.Bool("v", false, "print the LOT/COT tables and per-stage timings")
 		dotPath   = flag.String("dot", "", "write the chosen execution plan as Graphviz DOT to this path")
+		deadline  = flag.Duration("deadline", 0, "abort the optimization after this long (0 = none); combine with -budget-* to degrade instead")
+		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
+		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many model invocations (0 = unlimited)")
 	)
 	flag.Parse()
 	if *planPath == "" {
@@ -116,6 +121,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "robopt: model saved to %s\n", *saveModel)
 	}
 
+	runCtx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *deadline)
+		defer cancel()
+	}
+
 	var x *plan.Execution
 	switch *mode {
 	case "multi":
@@ -123,7 +135,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := ctx.Optimize(model)
+		ctx.Budget = core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC}
+		if *deadline > 0 {
+			// Degrade before the hard deadline so -deadline alone still
+			// yields a plan when the enumeration is too large.
+			ctx.Budget.SoftDeadline = *deadline * 4 / 5
+		}
+		res, err := ctx.Optimize(runCtx, model)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,6 +149,17 @@ func main() {
 		fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
 		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model calls, %d pruned\n",
 			res.Stats.VectorsCreated, res.Stats.Merges, res.Stats.ModelCalls, res.Stats.Pruned)
+		if res.Degraded {
+			fmt.Printf("note: budget exhausted (%s); plan is best-effort, not enumeration-optimal\n",
+				res.Stats.DegradeReason)
+		}
+		if *verbose {
+			t := res.Stats.Timings
+			fmt.Printf("stage timings: vectorize=%v enumerate=%v merge=%v prune=%v unvectorize=%v\n",
+				t.Vectorize.Round(time.Microsecond), t.Enumerate.Round(time.Microsecond),
+				t.Merge.Round(time.Microsecond), t.Prune.Round(time.Microsecond),
+				t.Unvectorize.Round(time.Microsecond))
+		}
 	case "single":
 		score, err := scoreFn(h, l, plats, avail, model)
 		if err != nil {

@@ -16,7 +16,9 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
 	"repro/internal/platform"
@@ -33,6 +35,10 @@ func main() {
 		nPlats    = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
 		quick     = flag.Bool("quick", false, "train a small model on startup (fast, less faithful)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
+		deadline  = flag.Duration("deadline", 30*time.Second, "default per-request optimization deadline (override per request with ?deadline_ms=)")
+		budgetVec = flag.Int("budget-vectors", 0, "degrade enumeration after this many plan vectors (0 = unlimited)")
+		budgetMC  = flag.Int("budget-model-calls", 0, "degrade enumeration after this many model invocations (0 = unlimited)")
+		maxBody   = flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "reject request bodies larger than this")
 	)
 	flag.Parse()
 
@@ -65,12 +71,26 @@ func main() {
 	}
 
 	srv := &service.Server{
-		Model:     model,
-		Platforms: plats,
-		Avail:     avail,
-		Cluster:   simulator.Default(),
-		Workers:   *workers,
+		Model:           model,
+		Platforms:       plats,
+		Avail:           avail,
+		Cluster:         simulator.Default(),
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		Budget:          core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC},
+		MaxBodyBytes:    *maxBody,
 	}
-	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	// The write timeout leaves headroom over the optimization deadline so a
+	// degraded-or-timed-out response can still be written; the read timeout
+	// bounds slow-loris plan uploads.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *deadline + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz, GET /metricz; default deadline %v)", *addr, *deadline)
+	log.Fatal(hs.ListenAndServe())
 }

@@ -1,6 +1,7 @@
 package baselines_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestObjectAndVectorEnumerationsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewContext: %v", err)
 		}
-		e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+		e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 		if err != nil {
 			t.Fatalf("Enumerate: %v", err)
 		}

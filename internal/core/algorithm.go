@@ -2,9 +2,11 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/plan"
 )
@@ -50,20 +52,35 @@ type Result struct {
 	Vector    *Vector
 	// Predicted is the model's runtime estimate for the chosen plan.
 	Predicted float64
-	Stats     Stats
+	// Degraded reports that the enumeration Budget was exhausted and the
+	// plan is best-effort rather than enumeration-optimal (it is still a
+	// valid, executable plan). Mirrors Stats.Degraded.
+	Degraded bool
+	Stats    Stats
 }
 
 // Optimize runs the full Robopt pipeline: priority-based enumeration with
 // ML-driven boundary pruning, then unvectorization of the cheapest plan
 // vector (Fig. 4). It is Algorithm 1 end to end.
-func (c *Context) Optimize(m CostModel) (*Result, error) {
-	return c.OptimizeOpts(m, BoundaryPruner{Model: m}, OrderPriority)
+//
+// The run honours ctx: cancellation or an expired deadline is checked at
+// every heap-pop of the enumeration and, cooperatively, inside the parallel
+// merge and model-call loops, so the call returns ctx.Err() promptly even
+// mid-blowup. A nil ctx behaves like context.Background(). The Context's
+// Budget additionally bounds work with graceful degradation instead of an
+// error; see Budget.
+func (c *Context) Optimize(ctx context.Context, m CostModel) (*Result, error) {
+	return c.OptimizeOpts(ctx, m, BoundaryPruner{Model: m}, OrderPriority)
 }
 
-// OptimizeOpts runs Algorithm 1 with an explicit pruner and traversal order.
-func (c *Context) OptimizeOpts(m CostModel, pr Pruner, order OrderPolicy) (*Result, error) {
+// OptimizeOpts runs Algorithm 1 with an explicit pruner and traversal order,
+// under the same cancellation and budget contract as Optimize.
+func (c *Context) OptimizeOpts(ctx context.Context, m CostModel, pr Pruner, order OrderPolicy) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
-	final, err := c.EnumerateFull(pr, order, &st)
+	final, err := c.EnumerateFull(ctx, pr, order, &st)
 	if err != nil {
 		return nil, err
 	}
@@ -71,24 +88,36 @@ func (c *Context) OptimizeOpts(m CostModel, pr Pruner, order OrderPolicy) (*Resu
 	if best == nil {
 		return nil, fmt.Errorf("core: enumeration produced no plan vectors")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	x, err := c.Unvectorize(best)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Stats: st}, nil
+	st.Timings.Unvectorize += time.Since(start)
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Degraded: st.Degraded, Stats: st}, nil
 }
 
 // OptimizeExhaustive enumerates the complete search space Ω_p without
 // pruning (the "Exhaustive enumeration" baseline of Figure 9a) and returns
-// the optimal plan w.r.t. the model. maxVectors bounds the enumeration; 0
-// means unlimited.
-func (c *Context) OptimizeExhaustive(m CostModel, maxVectors int) (*Result, error) {
+// the optimal plan w.r.t. the model. maxVectors bounds the enumeration (an
+// error, not degradation — the exhaustive baseline has no meaningful
+// degraded result); 0 means unlimited. ctx cancels the run.
+func (c *Context) OptimizeExhaustive(ctx context.Context, m CostModel, maxVectors int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
-	e, err := c.Enumerate(c.Vectorize(), maxVectors, &st)
+	e, err := c.Enumerate(ctx, c.Vectorize(), maxVectors, &st)
 	if err != nil {
 		return nil, err
 	}
 	best := GetOptimal(e, m, &st)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	x, err := c.Unvectorize(best)
 	if err != nil {
 		return nil, err
@@ -138,18 +167,44 @@ func (h *nodeHeap) Pop() any {
 	return n
 }
 
+// mergeBlock and pruneBlock are the cooperative-cancellation granularities
+// of the two parallel loops: merges are cheap vector additions (large
+// blocks), model calls can be arbitrarily slow (small blocks keep the
+// cancellation latency at a few calls).
+const (
+	mergeBlock = 256
+	pruneBlock = 16
+)
+
 // EnumerateFull runs the priority-based plan enumeration (Algorithm 1) and
 // returns the final plan vector enumeration covering the whole plan. It
 // vectorizes and splits the plan into singleton abstract vectors, enumerates
 // each, and concatenates enumerations in priority order, pruning after every
 // child concatenation.
-func (c *Context) EnumerateFull(pr Pruner, order OrderPolicy, st *Stats) (*Enumeration, error) {
+//
+// ctx is checked at every heap-pop, before every concatenation, and inside
+// the parallel merge loop; a cancelled context returns ctx.Err(). The
+// Context's Budget is enforced here: when a dimension is exhausted the
+// remaining concatenations run in degraded mode (see Budget) and st.Degraded
+// is set instead of returning an error.
+func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolicy, st *Stats) (*Enumeration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if st == nil {
+		// Budget accounting needs the counters even when the caller does
+		// not want them.
+		st = new(Stats)
+	}
+	start := time.Now()
 	n := c.Plan.NumOps()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty plan")
 	}
 	// Lines 2-5: split into singletons, enumerate each, set priorities.
 	singles := c.Split(c.Vectorize())
+	st.Timings.Vectorize += time.Since(start)
+	enumStart := time.Now()
 	owner := make([]*enumNode, n)
 	h := make(nodeHeap, 0, len(singles))
 	seq := 0
@@ -164,10 +219,16 @@ func (c *Context) EnumerateFull(pr Pruner, order OrderPolicy, st *Stats) (*Enume
 		c.setPriority(node, owner, order)
 	}
 	heap.Init(&h)
+	st.Timings.Enumerate += time.Since(enumStart)
 
+	budget := c.Budget
+	degraded := false
 	deferred := 0
 	// Lines 6-17: concatenate by priority until one enumeration remains.
 	for len(h) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		node := heap.Pop(&h).(*enumNode)
 		children := c.childrenOf(node, owner)
 		if len(children) == 0 {
@@ -184,27 +245,54 @@ func (c *Context) EnumerateFull(pr Pruner, order OrderPolicy, st *Stats) (*Enume
 		deferred = 0
 		cur := node.e
 		for _, child := range children {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if !degraded {
+				// The projected concatenation size trips the budget
+				// before the cartesian product is materialized, so a
+				// single adversarial merge cannot blow past MaxVectors.
+				projected := len(cur.Vectors) * len(child.e.Vectors)
+				if reason := budget.exhausted(st, start, projected); reason != "" {
+					degraded = true
+					st.Degraded = true
+					st.DegradeReason = reason
+				}
+			}
+			if degraded {
+				truncateCheapest(cur, budget.cap(), st)
+				truncateCheapest(child.e, budget.cap(), st)
+			}
 			pairs := Iterate(cur, child.e)
 			info := c.MergeInfo(cur, child.e)
 			merged := &Enumeration{Scope: cur.Scope.Union(child.e.Scope)}
 			merged.Vectors = make([]*Vector, len(pairs))
+			mergeStart := time.Now()
 			// Merge is a pure function of its two inputs, so the
 			// cartesian product fans out across workers; chunked
 			// writes keep the vector order deterministic.
-			parallelFor(len(pairs), c.Workers, func(lo, hi int) {
+			err := parallelForCtx(ctx, len(pairs), c.Workers, mergeBlock, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					merged.Vectors[i] = c.Merge(pairs[i][0], pairs[i][1], info, nil)
 				}
 			})
-			if st != nil {
-				st.Merges += len(pairs)
-				st.VectorsCreated += len(pairs)
+			st.Timings.Merge += time.Since(mergeStart)
+			if err != nil {
+				return nil, err
 			}
+			st.Merges += len(pairs)
+			st.VectorsCreated += len(pairs)
 			merged.Boundary = c.boundaryOf(merged.Scope)
-			if st != nil {
-				st.observe(len(merged.Vectors))
+			st.observe(len(merged.Vectors))
+			pruneStart := time.Now()
+			pr.Prune(ctx, c, merged, st)
+			st.Timings.Prune += time.Since(pruneStart)
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			pr.Prune(c, merged, st)
+			if degraded {
+				truncateCheapest(merged, budget.cap(), st)
+			}
 			heap.Remove(&h, child.idx)
 			cur = merged
 		}
@@ -225,8 +313,9 @@ func (c *Context) EnumerateFull(pr Pruner, order OrderPolicy, st *Stats) (*Enume
 }
 
 // childrenOf returns the distinct enumerations downstream-adjacent to node
-// (owners of consumers of node's operators), ordered by ascending minimum
-// scope ID for determinism.
+// (owners of consumers of node's operators), ordered by ascending insertion
+// sequence number for determinism (singletons get their sequence in scope-ID
+// order, merged nodes in creation order).
 func (c *Context) childrenOf(node *enumNode, owner []*enumNode) []*enumNode {
 	seen := map[*enumNode]bool{node: true}
 	var out []*enumNode

@@ -6,6 +6,7 @@ package core
 // paths themselves.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/plan"
@@ -117,7 +118,7 @@ func BenchmarkVectorizeSubplan(b *testing.B) {
 func BenchmarkPrune(b *testing.B) {
 	ctx := benchContext(b, 8, 3)
 	model := weightModel{}
-	e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+	e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func BenchmarkPrune(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Vectors = append(e.Vectors[:0], orig...)
-		BoundaryPruner{Model: model}.Prune(ctx, e, nil)
+		BoundaryPruner{Model: model}.Prune(context.Background(), ctx, e, nil)
 	}
 }
 
@@ -144,7 +145,7 @@ func BenchmarkParallelEnumeration(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ctx.Optimize(m); err != nil {
+				if _, err := ctx.Optimize(context.Background(), m); err != nil {
 					b.Fatal(err)
 				}
 			}

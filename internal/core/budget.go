@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Budget bounds the work of one optimization run. The enumeration of
+// Algorithm 1 is worst-case exponential without pruning and can still blow
+// up with it (the O(kⁿ) regime of Figure 9a on adversarial topologies), so a
+// serving deployment needs every run to be bounded in memory, model calls
+// and wall-clock time.
+//
+// Exhausting a budget dimension does not abort the run. Instead the
+// enumeration switches into degraded mode: every remaining enumeration is
+// additionally truncated to the DegradedCap cheapest vectors after pruning
+// (and before each concatenation), which collapses the remaining search to a
+// near-greedy walk with a small beam. The run then completes quickly and
+// returns a valid, executable plan flagged Degraded in Result/Stats. This is
+// the graceful half of the latency contract; the hard half is the
+// context.Context deadline, which cancels the run outright.
+//
+// In degraded mode vectors are ranked by Vector.Cost as last set by the
+// pruner (BoundaryPruner and PropertyPruner predict every vector they see);
+// with a cost-free pruner the truncation falls back to insertion order,
+// which stays deterministic.
+type Budget struct {
+	// MaxVectors bounds the plan vectors materialized over the whole run
+	// (Stats.VectorsCreated, counting projected concatenation sizes before
+	// they are materialized). 0 means unlimited.
+	MaxVectors int
+	// MaxModelCalls bounds cost-oracle invocations (Stats.ModelCalls).
+	// 0 means unlimited.
+	MaxModelCalls int
+	// SoftDeadline bounds the wall-clock enumeration time, measured from
+	// the start of EnumerateFull. Unlike a context deadline it degrades
+	// instead of cancelling. 0 means unlimited.
+	SoftDeadline time.Duration
+	// DegradedCap is the number of vectors each enumeration keeps once the
+	// budget is exhausted. 0 means the default of 8.
+	DegradedCap int
+}
+
+// Active reports whether any budget dimension is set.
+func (b Budget) Active() bool {
+	return b.MaxVectors > 0 || b.MaxModelCalls > 0 || b.SoftDeadline > 0
+}
+
+// cap returns the degraded-mode beam width.
+func (b Budget) cap() int {
+	if b.DegradedCap > 0 {
+		return b.DegradedCap
+	}
+	return 8
+}
+
+// exhausted returns the name of the first exhausted budget dimension, or ""
+// while the run is within budget. projected is the size of the concatenation
+// about to be materialized, so a single oversized cartesian product trips
+// the budget before allocating, not after.
+func (b Budget) exhausted(st *Stats, start time.Time, projected int) string {
+	if b.MaxVectors > 0 && st.VectorsCreated+projected > b.MaxVectors {
+		return "max-vectors"
+	}
+	if b.MaxModelCalls > 0 && st.ModelCalls >= b.MaxModelCalls {
+		return "max-model-calls"
+	}
+	if b.SoftDeadline > 0 && time.Since(start) >= b.SoftDeadline {
+		return "soft-deadline"
+	}
+	return ""
+}
+
+// truncateCheapest keeps the n cheapest vectors of e (stable on cost ties,
+// so the result is deterministic for any Workers setting) and counts the
+// discarded rest as pruned.
+func truncateCheapest(e *Enumeration, n int, st *Stats) {
+	if len(e.Vectors) <= n {
+		return
+	}
+	sort.SliceStable(e.Vectors, func(i, j int) bool {
+		return e.Vectors[i].Cost < e.Vectors[j].Cost
+	})
+	if st != nil {
+		st.Pruned += len(e.Vectors) - n
+	}
+	e.Vectors = e.Vectors[:n]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/platform"
 )
@@ -18,13 +19,33 @@ type CostModel interface {
 }
 
 // Stats counts the work performed during one enumeration. It backs Table I
-// (enumerated subplans) and the latency analyses of Figures 1, 9, 10.
+// (enumerated subplans) and the latency analyses of Figures 1, 9, 10, and is
+// the per-request cost record the service exports on /metricz.
 type Stats struct {
 	VectorsCreated int // plan vectors materialized (enumerated subplans)
 	Merges         int // merge operations performed
 	ModelCalls     int // cost-oracle invocations
 	Pruned         int // vectors discarded by pruning
 	PeakEnumSize   int // largest enumeration encountered
+
+	// Degraded reports that the enumeration Budget was exhausted and the
+	// remaining concatenations ran in degraded mode (aggressive lossy
+	// pruning): the returned plan is best-effort, not enumeration-optimal.
+	Degraded bool
+	// DegradeReason names the exhausted budget dimension ("max-vectors",
+	// "max-model-calls" or "soft-deadline") when Degraded is set.
+	DegradeReason string
+	// Timings is the wall-clock time spent per pipeline stage.
+	Timings obs.StageTimings
+}
+
+// Counters returns a copy of s with the wall-clock timings zeroed: the
+// deterministic work counters. Two runs of the same optimization are
+// expected to produce equal Counters() whatever Workers is, while Timings
+// naturally differ run to run.
+func (s Stats) Counters() Stats {
+	s.Timings = obs.StageTimings{}
+	return s
 }
 
 func (s *Stats) observe(size int) {
@@ -60,6 +81,11 @@ type Context struct {
 	// function and vector order is preserved — but the cost model must
 	// be safe for concurrent Predict calls (all mlmodel models are).
 	Workers int
+
+	// Budget bounds the work of one optimization run; the zero value is
+	// unlimited. When a dimension is exhausted mid-enumeration, the run
+	// degrades gracefully instead of erroring: see Budget.
+	Budget Budget
 
 	alternatives [][]uint8     // per op: schema platform columns available
 	edges        []plan.Edge   // all dataflow edges

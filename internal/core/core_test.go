@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -195,7 +196,7 @@ func TestEnumerateCountsAreExhaustive(t *testing.T) {
 	l := workload.Pipeline(5, 1e6)
 	for k := 2; k <= 4; k++ {
 		ctx := newCtx(t, l, k)
-		e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+		e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 		if err != nil {
 			t.Fatalf("Enumerate: %v", err)
 		}
@@ -212,7 +213,7 @@ func TestEnumerateCountsAreExhaustive(t *testing.T) {
 func TestEnumerateRespectsCap(t *testing.T) {
 	l := workload.Pipeline(10, 1e6)
 	ctx := newCtx(t, l, 3)
-	if _, err := ctx.Enumerate(ctx.Vectorize(), 100, nil); err == nil {
+	if _, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 100, nil); err == nil {
 		t.Fatal("Enumerate ignored maxVectors")
 	}
 }
@@ -222,14 +223,14 @@ func TestMergeCommutative(t *testing.T) {
 	l := workload.RunningExample()
 	ctx := newCtx(t, l, 3)
 	var st core.Stats
-	full, err := ctx.EnumerateFull(core.NoPruner{}, core.OrderPriority, &st)
+	full, err := ctx.EnumerateFull(context.Background(), core.NoPruner{}, core.OrderPriority, &st)
 	if err != nil {
 		t.Fatalf("EnumerateFull: %v", err)
 	}
 	_ = full
 	// Rebuild two adjacent singleton enumerations and merge both ways.
-	a, errA := ctx.Enumerate(scopedAbstract(l, 0), 0, nil)
-	b, errB := ctx.Enumerate(scopedAbstract(l, 1), 0, nil)
+	a, errA := ctx.Enumerate(context.Background(), scopedAbstract(l, 0), 0, nil)
+	b, errB := ctx.Enumerate(context.Background(), scopedAbstract(l, 1), 0, nil)
 	if errA != nil || errB != nil {
 		t.Fatalf("singleton enumerate: %v %v", errA, errB)
 	}
@@ -300,7 +301,7 @@ func TestMergeTreeIndependence(t *testing.T) {
 			}
 			var items []item
 			for i := 0; i < l.NumOps(); i++ {
-				e, err := ctx.Enumerate(scopedAbstract(l, plan.OpID(i)), 0, nil)
+				e, err := ctx.Enumerate(context.Background(), scopedAbstract(l, plan.OpID(i)), 0, nil)
 				if err != nil {
 					t.Fatalf("enumerate: %v", err)
 				}
@@ -359,11 +360,11 @@ func TestBoundaryPruningLossless(t *testing.T) {
 			ctx := newCtx(t, l, k)
 			for seed := int64(0); seed < 5; seed++ {
 				m := newAdditiveLinModel(ctx.Schema, seed*31+int64(pi))
-				pruned, err := ctx.Optimize(m)
+				pruned, err := ctx.Optimize(context.Background(), m)
 				if err != nil {
 					t.Fatalf("Optimize: %v", err)
 				}
-				exh, err := ctx.OptimizeExhaustive(m, 0)
+				exh, err := ctx.OptimizeExhaustive(context.Background(), m, 0)
 				if err != nil {
 					t.Fatalf("OptimizeExhaustive: %v", err)
 				}
@@ -388,7 +389,7 @@ func TestAllOrdersFindOptimal(t *testing.T) {
 	m := newAdditiveLinModel(ctx.Schema, 99)
 	var costs []float64
 	for _, order := range []core.OrderPolicy{core.OrderPriority, core.OrderTopDown, core.OrderBottomUp, core.OrderFIFO} {
-		res, err := ctx.OptimizeOpts(m, core.BoundaryPruner{Model: m}, order)
+		res, err := ctx.OptimizeOpts(context.Background(), m, core.BoundaryPruner{Model: m}, order)
 		if err != nil {
 			t.Fatalf("order %v: %v", order, err)
 		}
@@ -411,7 +412,7 @@ func TestLemma1PipelineQuadratic(t *testing.T) {
 			l := workload.Pipeline(n, 1e7)
 			ctx := newCtx(t, l, k)
 			m := newLinModel(ctx.Schema.Len(), int64(n*k))
-			res, err := ctx.Optimize(m)
+			res, err := ctx.Optimize(context.Background(), m)
 			if err != nil {
 				t.Fatalf("Optimize: %v", err)
 			}
@@ -436,7 +437,7 @@ func TestUnvectorizeProducesValidExecution(t *testing.T) {
 	l := workload.RunningExample()
 	ctx := newCtx(t, l, 3)
 	m := newLinModel(ctx.Schema.Len(), 5)
-	res, err := ctx.Optimize(m)
+	res, err := ctx.Optimize(context.Background(), m)
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -472,8 +473,8 @@ func TestOptimizeDeterministic(t *testing.T) {
 	l := workload.JoinTree(3, 1e8)
 	ctx := newCtx(t, l, 3)
 	m := newLinModel(ctx.Schema.Len(), 11)
-	r1, err1 := ctx.Optimize(m)
-	r2, err2 := ctx.Optimize(m)
+	r1, err1 := ctx.Optimize(context.Background(), m)
+	r2, err2 := ctx.Optimize(context.Background(), m)
 	if err1 != nil || err2 != nil {
 		t.Fatalf("Optimize: %v %v", err1, err2)
 	}
@@ -482,7 +483,7 @@ func TestOptimizeDeterministic(t *testing.T) {
 			t.Fatalf("non-deterministic assignment at op %d", i)
 		}
 	}
-	if r1.Stats != r2.Stats {
+	if r1.Stats.Counters() != r2.Stats.Counters() {
 		t.Fatalf("non-deterministic stats: %+v vs %+v", r1.Stats, r2.Stats)
 	}
 }
@@ -515,7 +516,7 @@ func TestWideBoundaryStringFootprint(t *testing.T) {
 	for _, s := range sources {
 		sc.Set(s)
 	}
-	e, err := ctx.Enumerate(&core.Abstract{Scope: sc}, 0, nil)
+	e, err := ctx.Enumerate(context.Background(), &core.Abstract{Scope: sc}, 0, nil)
 	if err != nil {
 		t.Fatalf("Enumerate: %v", err)
 	}
@@ -524,7 +525,7 @@ func TestWideBoundaryStringFootprint(t *testing.T) {
 	}
 	before := e.Size()
 	m := newLinModel(ctx.Schema.Len(), 1)
-	core.BoundaryPruner{Model: m}.Prune(ctx, e, nil)
+	core.BoundaryPruner{Model: m}.Prune(context.Background(), ctx, e, nil)
 	// All 18 boundary ops are distinct per vector, so nothing can prune.
 	if e.Size() != before {
 		t.Fatalf("pruned an all-boundary enumeration: %d -> %d", before, e.Size())
@@ -534,12 +535,12 @@ func TestWideBoundaryStringFootprint(t *testing.T) {
 func TestSwitchPruner(t *testing.T) {
 	l := workload.Pipeline(6, 1e6)
 	ctx := newCtx(t, l, 3)
-	e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+	e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 	if err != nil {
 		t.Fatalf("Enumerate: %v", err)
 	}
 	var st core.Stats
-	core.SwitchPruner{Beta: 1}.Prune(ctx, e, &st)
+	core.SwitchPruner{Beta: 1}.Prune(context.Background(), ctx, e, &st)
 	for _, v := range e.Vectors {
 		if got := ctx.Schema.Conversions(v.F); got > 1 {
 			t.Fatalf("vector with %d switches survived β=1", got)
@@ -549,7 +550,7 @@ func TestSwitchPruner(t *testing.T) {
 		t.Error("β pruning removed nothing")
 	}
 	// Cap pruning.
-	core.SwitchPruner{Beta: 3, MaxVectors: 5}.Prune(ctx, e, &st)
+	core.SwitchPruner{Beta: 3, MaxVectors: 5}.Prune(context.Background(), ctx, e, &st)
 	if e.Size() > 5 {
 		t.Fatalf("cap ignored: %d vectors", e.Size())
 	}
@@ -582,13 +583,13 @@ func TestParallelEnumerationMatchesSerial(t *testing.T) {
 	m := newLinModel(core.MustSchema(platform.Subset(4)).Len(), 17)
 
 	serialCtx := newCtx(t, l, 4)
-	serial, err := serialCtx.Optimize(m)
+	serial, err := serialCtx.Optimize(context.Background(), m)
 	if err != nil {
 		t.Fatalf("serial Optimize: %v", err)
 	}
 	parCtx := newCtx(t, l, 4)
 	parCtx.Workers = 8
-	par, err := parCtx.Optimize(m)
+	par, err := parCtx.Optimize(context.Background(), m)
 	if err != nil {
 		t.Fatalf("parallel Optimize: %v", err)
 	}
@@ -600,7 +601,7 @@ func TestParallelEnumerationMatchesSerial(t *testing.T) {
 			t.Fatalf("assignment differs at op %d", i)
 		}
 	}
-	if serial.Stats != par.Stats {
+	if serial.Stats.Counters() != par.Stats.Counters() {
 		t.Fatalf("stats differ: %+v vs %+v", serial.Stats, par.Stats)
 	}
 }
@@ -609,7 +610,7 @@ func TestStatsCountModelCalls(t *testing.T) {
 	l := workload.Pipeline(8, 1e7)
 	ctx := newCtx(t, l, 2)
 	m := newLinModel(ctx.Schema.Len(), 2)
-	res, err := ctx.Optimize(m)
+	res, err := ctx.Optimize(context.Background(), m)
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -165,19 +166,33 @@ func (c *Context) Split(a *Abstract) []*Abstract {
 // a singleton scope this yields one vector per available platform; for
 // larger scopes it takes the cartesian product of the operators'
 // alternatives, i.e. the exhaustive enumeration of the subplan. maxVectors
-// guards against accidental exponential blow-ups: 0 means unlimited.
-func (c *Context) Enumerate(a *Abstract, maxVectors int, st *Stats) (*Enumeration, error) {
+// guards against accidental exponential blow-ups: 0 means unlimited. ctx
+// cancels the enumeration (checked between merges, every mergeBlock pairs);
+// nil means context.Background().
+func (c *Context) Enumerate(ctx context.Context, a *Abstract, maxVectors int, st *Stats) (*Enumeration, error) {
 	ids := a.Scope.IDs()
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: cannot enumerate an empty scope")
 	}
+	check := func() error { return nil }
+	if ctx != nil && ctx.Done() != nil {
+		check = ctx.Err
+	}
 	e := c.enumerateSingleton(ids[0], st)
 	for _, id := range ids[1:] {
+		if err := check(); err != nil {
+			return nil, err
+		}
 		next := c.enumerateSingleton(id, st)
 		pairs := Iterate(e, next)
 		info := c.MergeInfo(e, next)
 		merged := &Enumeration{Scope: e.Scope.Union(next.Scope)}
-		for _, pr := range pairs {
+		for i, pr := range pairs {
+			if i%mergeBlock == 0 {
+				if err := check(); err != nil {
+					return nil, err
+				}
+			}
 			merged.Vectors = append(merged.Vectors, c.Merge(pr[0], pr[1], info, st))
 			if maxVectors > 0 && len(merged.Vectors) > maxVectors {
 				return nil, fmt.Errorf("core: enumeration exceeds %d vectors", maxVectors)
@@ -336,8 +351,14 @@ func (c *Context) Merge(v1, v2 *Vector, info *MergeCtx, st *Stats) *Vector {
 // platform-switch pruning of TDGen) implement this interface, which is how
 // the paper's "fine-granular operations" let the same Algorithm 1 serve both
 // uses.
+//
+// ctx carries the run's cancellation: pruners that invoke the cost oracle
+// must check it cooperatively (model calls dominate enumeration latency) and
+// may return early with the enumeration unpruned when cancelled — the
+// enumeration loop re-checks ctx right after every Prune call and abandons
+// the run. A nil ctx must be tolerated and means "not cancellable".
 type Pruner interface {
-	Prune(c *Context, e *Enumeration, st *Stats)
+	Prune(ctx context.Context, c *Context, e *Enumeration, st *Stats)
 }
 
 // BoundaryPruner implements the lossless boundary pruning of Definition 2:
@@ -351,18 +372,24 @@ type BoundaryPruner struct {
 }
 
 // Prune applies boundary pruning to e using the model as the cost oracle.
-// Survivors carry their predicted cost in Vector.Cost.
-func (p BoundaryPruner) Prune(c *Context, e *Enumeration, st *Stats) {
+// Survivors carry their predicted cost in Vector.Cost. A cancelled ctx
+// returns early without pruning; the caller is expected to abandon the
+// enumeration.
+func (p BoundaryPruner) Prune(ctx context.Context, c *Context, e *Enumeration, st *Stats) {
 	if len(e.Vectors) == 0 {
 		return
 	}
 	// Model invocation is the dominant cost and every call is independent:
-	// fan the predictions out across the context's workers.
-	parallelFor(len(e.Vectors), c.Workers, func(lo, hi int) {
+	// fan the predictions out across the context's workers, checking ctx
+	// every few calls so slow oracles cannot outlive the deadline.
+	err := parallelForCtx(ctx, len(e.Vectors), c.Workers, pruneBlock, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.Vectors[i].Cost = p.Model.Predict(e.Vectors[i].F)
 		}
 	})
+	if err != nil {
+		return
+	}
 	if st != nil {
 		st.ModelCalls += len(e.Vectors)
 	}
@@ -416,8 +443,9 @@ type SwitchPruner struct {
 	MaxVectors int
 }
 
-// Prune applies the platform-switch pruning to e.
-func (p SwitchPruner) Prune(c *Context, e *Enumeration, st *Stats) {
+// Prune applies the platform-switch pruning to e. It never invokes a cost
+// oracle, so ctx is unused.
+func (p SwitchPruner) Prune(_ context.Context, c *Context, e *Enumeration, st *Stats) {
 	kept := e.Vectors[:0]
 	for _, v := range e.Vectors {
 		if c.Schema.Conversions(v.F) <= p.Beta {
@@ -442,7 +470,7 @@ func (p SwitchPruner) Prune(c *Context, e *Enumeration, st *Stats) {
 type NoPruner struct{}
 
 // Prune is a no-op.
-func (NoPruner) Prune(*Context, *Enumeration, *Stats) {}
+func (NoPruner) Prune(context.Context, *Context, *Enumeration, *Stats) {}
 
 // GetOptimal predicts the runtime of every vector in e and returns the one
 // with the lowest prediction (Algorithm 1, line 18). Ties resolve to the

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // parallelFor splits [0, n) into contiguous chunks and runs fn on each chunk
 // from its own goroutine. With workers ≤ 1 (or a small n) it runs inline.
@@ -28,4 +31,35 @@ func parallelFor(n, workers int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation: every worker
+// walks its chunk in blocks of at most `block` items and re-checks ctx
+// between blocks, so a cancelled context stops the loop within one block of
+// work per worker rather than at the end of the chunk. It returns ctx.Err()
+// when the context was cancelled — the caller must then treat any
+// partially-filled result slice as invalid. A context that can never be
+// cancelled (Done() == nil, e.g. context.Background()) takes the unchecked
+// fast path with zero per-block overhead.
+func parallelForCtx(ctx context.Context, n, workers, block int, fn func(lo, hi int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		parallelFor(n, workers, fn)
+		return nil
+	}
+	if block <= 0 {
+		block = 256
+	}
+	parallelFor(n, workers, func(lo, hi int) {
+		for b := lo; b < hi; b += block {
+			if ctx.Err() != nil {
+				return
+			}
+			e := b + block
+			if e > hi {
+				e = hi
+			}
+			fn(b, e)
+		}
+	})
+	return ctx.Err()
 }

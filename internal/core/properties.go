@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Property is an "interesting property" in the System-R sense, adapted to
 // plan vectors. Section V of the paper points out that the boundary pruning
 // is an instance of interesting sites in distributed query optimization and
@@ -80,16 +82,20 @@ type PropertyPruner struct {
 	Properties []Property
 }
 
-// Prune implements Pruner.
-func (p PropertyPruner) Prune(c *Context, e *Enumeration, st *Stats) {
+// Prune implements Pruner. Like BoundaryPruner it checks ctx between model
+// calls and returns early (without pruning) when cancelled.
+func (p PropertyPruner) Prune(ctx context.Context, c *Context, e *Enumeration, st *Stats) {
 	if len(e.Vectors) == 0 {
 		return
 	}
-	parallelFor(len(e.Vectors), c.Workers, func(lo, hi int) {
+	err := parallelForCtx(ctx, len(e.Vectors), c.Workers, pruneBlock, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.Vectors[i].Cost = p.Model.Predict(e.Vectors[i].F)
 		}
 	})
+	if err != nil {
+		return
+	}
 	if st != nil {
 		st.ModelCalls += len(e.Vectors)
 	}

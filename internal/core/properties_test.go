@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,19 +15,19 @@ func TestPropertyPrunerDegeneratesToBoundary(t *testing.T) {
 	m := newLinModel(core.MustSchema(platform.Subset(3)).Len(), 41)
 
 	a := newCtx(t, l, 3)
-	boundaryRes, err := a.OptimizeOpts(m, core.BoundaryPruner{Model: m}, core.OrderPriority)
+	boundaryRes, err := a.OptimizeOpts(context.Background(), m, core.BoundaryPruner{Model: m}, core.OrderPriority)
 	if err != nil {
 		t.Fatalf("boundary: %v", err)
 	}
 	b := newCtx(t, l, 3)
-	propRes, err := b.OptimizeOpts(m, core.PropertyPruner{Model: m}, core.OrderPriority)
+	propRes, err := b.OptimizeOpts(context.Background(), m, core.PropertyPruner{Model: m}, core.OrderPriority)
 	if err != nil {
 		t.Fatalf("property: %v", err)
 	}
 	if math.Abs(boundaryRes.Predicted-propRes.Predicted) > 1e-9*boundaryRes.Predicted {
 		t.Fatalf("empty property set changed the optimum: %g vs %g", boundaryRes.Predicted, propRes.Predicted)
 	}
-	if boundaryRes.Stats != propRes.Stats {
+	if boundaryRes.Stats.Counters() != propRes.Stats.Counters() {
 		t.Fatalf("empty property set changed the enumeration: %+v vs %+v", boundaryRes.Stats, propRes.Stats)
 	}
 }
@@ -37,12 +38,12 @@ func TestPropertyPrunerRetainsAlternatives(t *testing.T) {
 	m := newLinModel(ctx.Schema.Len(), 42)
 
 	var stPlain core.Stats
-	plain, err := ctx.EnumerateFull(core.BoundaryPruner{Model: m}, core.OrderPriority, &stPlain)
+	plain, err := ctx.EnumerateFull(context.Background(), core.BoundaryPruner{Model: m}, core.OrderPriority, &stPlain)
 	if err != nil {
 		t.Fatalf("EnumerateFull: %v", err)
 	}
 	var stProp core.Stats
-	withProp, err := ctx.EnumerateFull(core.PropertyPruner{
+	withProp, err := ctx.EnumerateFull(context.Background(), core.PropertyPruner{
 		Model:      m,
 		Properties: []core.Property{core.PlatformSetProperty{}},
 	}, core.OrderPriority, &stProp)
@@ -74,7 +75,7 @@ func TestSwitchCountPropertyKeepsLowSwitchPlan(t *testing.T) {
 	l := workload.Pipeline(7, 1e7)
 	ctx := newCtx(t, l, 2)
 	m := newLinModel(ctx.Schema.Len(), 43)
-	final, err := ctx.EnumerateFull(core.PropertyPruner{
+	final, err := ctx.EnumerateFull(context.Background(), core.PropertyPruner{
 		Model:      m,
 		Properties: []core.Property{core.SwitchCountProperty{}},
 	}, core.OrderPriority, nil)
@@ -95,7 +96,7 @@ func TestSwitchCountPropertyKeepsLowSwitchPlan(t *testing.T) {
 func TestLoopPlatformPropertyKeys(t *testing.T) {
 	l := workload.Kmeans(1e8, workload.DefaultKmeans)
 	ctx := newCtx(t, l, 2)
-	e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+	e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 	if err != nil {
 		t.Fatalf("Enumerate: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -63,7 +64,7 @@ func TestQuickVectorNonNegative(t *testing.T) {
 		}
 		// RandomDAG sizes are approximate; no cap — 2 platforms keep
 		// the exhaustive enumeration small enough.
-		e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+		e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 		if err != nil {
 			return false
 		}
@@ -91,7 +92,7 @@ func TestQuickPruneSubset(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		e, err := ctx.Enumerate(ctx.Vectorize(), 0, nil)
+		e, err := ctx.Enumerate(context.Background(), ctx.Vectorize(), 0, nil)
 		if err != nil {
 			return false
 		}
@@ -104,7 +105,7 @@ func TestQuickPruneSubset(t *testing.T) {
 				minBefore = c
 			}
 		}
-		core.BoundaryPruner{Model: m}.Prune(ctx, e, nil)
+		core.BoundaryPruner{Model: m}.Prune(context.Background(), ctx, e, nil)
 		if e.Size() > before {
 			return false
 		}
@@ -117,6 +118,51 @@ func TestQuickPruneSubset(t *testing.T) {
 		return minAfter == minBefore
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWorkersDeterministic: for random DAGs, the parallel enumeration
+// is an exact replica of the serial one — Workers=1 and Workers=8 produce
+// byte-identical platform assignments and do the same amount of merge work.
+// This is the determinism contract the chunked parallel writes exist for.
+func TestQuickWorkersDeterministic(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw)%10 + 4
+		l := workload.RandomDAG(size, 1e8, seed)
+		run := func(workers int) (*core.Result, bool) {
+			ctx, err := core.NewContext(l, platform.Subset(3), platform.UniformAvailability(3))
+			if err != nil {
+				return nil, false
+			}
+			ctx.Workers = workers
+			m := newAdditiveLinModel(ctx.Schema, seed+13)
+			res, err := ctx.Optimize(context.Background(), m)
+			if err != nil {
+				return nil, false
+			}
+			return res, true
+		}
+		serial, ok := run(1)
+		if !ok {
+			return false
+		}
+		par, ok := run(8)
+		if !ok {
+			return false
+		}
+		if len(serial.Execution.Assign) != len(par.Execution.Assign) {
+			return false
+		}
+		for i := range serial.Execution.Assign {
+			if serial.Execution.Assign[i] != par.Execution.Assign[i] {
+				return false
+			}
+		}
+		return serial.Stats.Merges == par.Stats.Merges &&
+			serial.Stats.Counters() == par.Stats.Counters()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
 }

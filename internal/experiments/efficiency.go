@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -106,14 +107,14 @@ func (h *Harness) Table1() ([]Table1Row, error) {
 			// pruning keeps one survivor per footprint whatever the
 			// oracle says), so the lightweight model suffices.
 			m := h.LatencyModel(platform.Subset(k))
-			res, err := ctx.Optimize(m)
+			res, err := ctx.Optimize(context.Background(), m)
 			if err != nil {
 				return nil, err
 			}
 			row := Table1Row{Operators: nOps, Platforms: k, WithPruning: res.Stats.VectorsCreated}
 			if nOps <= 5 {
 				var st core.Stats
-				if _, err := ctx.EnumerateFull(core.NoPruner{}, core.OrderPriority, &st); err != nil {
+				if _, err := ctx.EnumerateFull(context.Background(), core.NoPruner{}, core.OrderPriority, &st); err != nil {
 					return nil, err
 				}
 				row.WithoutPruning = float64(st.VectorsCreated)
@@ -170,7 +171,7 @@ func (h *Harness) Figure9a() ([]Fig9Row, error) {
 				return nil, err
 			}
 			row.ExhaustiveMs, err = timeIt(reps, func() error {
-				_, err := ctx.OptimizeExhaustive(m, 0)
+				_, err := ctx.OptimizeExhaustive(context.Background(), m, 0)
 				return err
 			})
 			if err != nil {
@@ -218,7 +219,7 @@ func (h *Harness) Figure9bcd(nOps int) ([]Fig9Row, error) {
 				return nil, err
 			}
 			row.ExhaustiveMs, err = timeIt(reps, func() error {
-				_, err := ctx.OptimizeExhaustive(m, 0)
+				_, err := ctx.OptimizeExhaustive(context.Background(), m, 0)
 				return err
 			})
 			if err != nil {
@@ -287,7 +288,7 @@ func (h *Harness) Figure10() ([]Fig10Row, error) {
 			row := Fig10Row{Joins: joins, Platforms: k}
 			measure := func(order core.OrderPolicy) (float64, error) {
 				return timeIt(reps, func() error {
-					_, err := ctx.OptimizeOpts(m, core.BoundaryPruner{Model: m}, order)
+					_, err := ctx.OptimizeOpts(context.Background(), m, core.BoundaryPruner{Model: m}, order)
 					return err
 				})
 			}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -187,7 +188,7 @@ func (h *Harness) RoboptOptimizeWith(l *plan.Logical, plats []platform.ID, avail
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Optimize(m)
+	return ctx.Optimize(context.Background(), m)
 }
 
 // RheemMLOptimizeWith runs the object-enumeration baseline with an explicit
@@ -216,7 +217,7 @@ func (h *Harness) RoboptOptimize(l *plan.Logical, plats []platform.ID, avail *pl
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Optimize(m)
+	return ctx.Optimize(context.Background(), m)
 }
 
 // RheemixOptimize runs the cost-based baseline on l.

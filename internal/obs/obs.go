@@ -1,0 +1,266 @@
+// Package obs provides the lightweight observability primitives the
+// optimizer service exposes on /metricz: lock-free counters, fixed-bucket
+// histograms, a named registry with JSON-ready snapshots, and per-stage span
+// timings for the optimization pipeline (vectorize, enumerate, merge, prune,
+// unvectorize).
+//
+// Everything is safe for concurrent use from request handlers and from the
+// enumeration worker goroutines; observation is a handful of atomic
+// operations, cheap enough to stay enabled in production.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d may be any nonnegative delta; negative deltas are ignored to
+// keep the counter monotone).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// numBuckets is the fixed number of histogram buckets. Bucket i collects
+// values in (2^(i-1), 2^i]; bucket 0 collects everything ≤ 1 and the last
+// bucket is a catch-all for the long tail. With 40 buckets the histogram
+// spans twelve decades — microseconds to hours when observing milliseconds.
+const numBuckets = 40
+
+// Histogram is a fixed-layout exponential histogram. Observations and
+// snapshots are lock-free; the float64 sum is maintained with a CAS loop.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v)))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// attributing each bucket its upper bound. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return math.Pow(2, float64(i))
+		}
+	}
+	return math.Pow(2, float64(numBuckets-1))
+}
+
+// HistogramSnapshot is the JSON-ready state of a histogram. Buckets lists
+// only the non-empty buckets as {le, count} pairs with cumulative counts,
+// prometheus-style.
+type HistogramSnapshot struct {
+	Count int64          `json:"count"`
+	Sum   float64        `json:"sum"`
+	Avg   float64        `json:"avg"`
+	P50   float64        `json:"p50"`
+	P90   float64        `json:"p90"`
+	P99   float64        `json:"p99"`
+	Le    []BucketOfHist `json:"buckets,omitempty"`
+}
+
+// BucketOfHist is one cumulative histogram bucket: Count observations were
+// ≤ Le.
+type BucketOfHist struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting (buckets are read
+// individually; exact cross-field consistency is not guaranteed under
+// concurrent writes, which is fine for monitoring).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.Avg = s.Sum / float64(s.Count)
+	}
+	s.P50, s.P90, s.P99 = h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		s.Le = append(s.Le, BucketOfHist{Le: math.Pow(2, float64(i)), Count: cum})
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms. Lookups are
+// get-or-create and safe for concurrent use; names are stable identifiers
+// reported verbatim on /metricz.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is the JSON-ready state of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. Names are sorted into the maps
+// deterministically (Go maps marshal in sorted key order).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Counters[n] = r.counters[n].Load()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// StageTimings records the wall-clock time one optimization spent in each
+// pipeline stage. It is the span-level breakdown behind Figure 9's latency
+// totals: vectorization, singleton enumeration, the cartesian merges, the
+// pruning (dominated by model calls), and the final unvectorization.
+type StageTimings struct {
+	Vectorize   time.Duration
+	Enumerate   time.Duration
+	Merge       time.Duration
+	Prune       time.Duration
+	Unvectorize time.Duration
+}
+
+// Add accumulates o into t.
+func (t *StageTimings) Add(o StageTimings) {
+	t.Vectorize += o.Vectorize
+	t.Enumerate += o.Enumerate
+	t.Merge += o.Merge
+	t.Prune += o.Prune
+	t.Unvectorize += o.Unvectorize
+}
+
+// Total returns the sum over all stages.
+func (t StageTimings) Total() time.Duration {
+	return t.Vectorize + t.Enumerate + t.Merge + t.Prune + t.Unvectorize
+}
+
+// Milliseconds renders the timings as a stage→ms map for JSON replies.
+func (t StageTimings) Milliseconds() map[string]float64 {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return map[string]float64{
+		"vectorize":   ms(t.Vectorize),
+		"enumerate":   ms(t.Enumerate),
+		"merge":       ms(t.Merge),
+		"prune":       ms(t.Prune),
+		"unvectorize": ms(t.Unvectorize),
+	}
+}

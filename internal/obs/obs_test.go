@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := obs.NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Load(); got != 16000 {
+		t.Fatalf("hits = %d, want 16000", got)
+	}
+	r.Counter("hits").Add(-5)
+	if got := r.Counter("hits").Load(); got != 16000 {
+		t.Fatalf("negative delta changed the counter: %d", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &obs.Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	// Quantiles are upper-bound estimates: p50 of 1..100 lands in the
+	// (32,64] bucket, so the estimate is 64.
+	if q := h.Quantile(0.5); q != 64 {
+		t.Fatalf("p50 = %g, want 64", q)
+	}
+	if q := h.Quantile(1); q != 128 {
+		t.Fatalf("p100 = %g, want 128", q)
+	}
+	s := h.Snapshot()
+	if s.Le[len(s.Le)-1].Count != 100 {
+		t.Fatalf("cumulative tail = %d, want 100", s.Le[len(s.Le)-1].Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &obs.Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%g, want 4000/8000", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.Histogram("optimize_ms").Observe(12.5)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var round obs.Snapshot
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if round.Counters["requests_total"] != 3 {
+		t.Fatalf("counter lost in round trip: %+v", round.Counters)
+	}
+	if round.Histograms["optimize_ms"].Count != 1 {
+		t.Fatalf("histogram lost in round trip: %+v", round.Histograms)
+	}
+}
+
+func TestStageTimings(t *testing.T) {
+	a := obs.StageTimings{Merge: 2 * time.Millisecond, Prune: 3 * time.Millisecond}
+	b := obs.StageTimings{Vectorize: time.Millisecond, Prune: time.Millisecond}
+	a.Add(b)
+	if a.Total() != 7*time.Millisecond {
+		t.Fatalf("total = %v, want 7ms", a.Total())
+	}
+	ms := a.Milliseconds()
+	if ms["prune"] != 4 || ms["vectorize"] != 1 {
+		t.Fatalf("milliseconds map wrong: %v", ms)
+	}
+}

@@ -2,21 +2,65 @@
 // logical plan and receive the chosen execution plan, its predicted runtime,
 // and the enumeration statistics. It is the embedding surface a
 // cross-platform system would call in place of its cost-based optimizer.
+//
+// # Endpoints
+//
+//   - POST /optimize — optimize a JSON logical plan. Query parameters:
+//     deadline_ms (per-request optimization deadline in milliseconds,
+//     overriding the server default; the request degrades near the deadline
+//     and returns 503 once it is exceeded) and simulate=1 (also run the
+//     chosen plan on the simulated cluster).
+//   - GET /healthz — liveness probe.
+//   - GET /statz — cumulative request counters as JSON.
+//   - GET /metricz — full metrics snapshot (see below).
+//
+// Every response carries an X-Request-Id header; errors are JSON bodies of
+// the form {"error": "...", "requestId": "..."}.
+//
+// # /metricz fields
+//
+// The snapshot has two top-level objects, "counters" and "histograms".
+//
+// Counters:
+//
+//   - requests_total — optimize requests received (any outcome)
+//   - failures_total — optimize requests that returned an error status
+//   - deadline_exceeded_total — requests cancelled by their deadline (503)
+//   - degraded_total — successful requests whose plan was budget-degraded
+//   - encode_failures_total — response JSON encoding failures (client gone)
+//
+// Histograms (each reported with count, sum, avg, p50/p90/p99 estimates and
+// cumulative power-of-two buckets):
+//
+//   - optimize_ms — end-to-end optimization latency per successful request
+//   - vectors_created — plan vectors materialized per request
+//   - model_calls — cost-oracle invocations per request
+//   - stage_vectorize_ms, stage_enumerate_ms, stage_merge_ms,
+//     stage_prune_ms, stage_unvectorize_ms — per-stage span timings of the
+//     optimization pipeline
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mlmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/simulator"
 )
+
+// DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is unset.
+const DefaultMaxBodyBytes = 8 << 20
 
 // Server handles optimization requests with a fixed trained model.
 type Server struct {
@@ -28,18 +72,46 @@ type Server struct {
 	Cluster *simulator.Cluster
 	// Workers is passed to the enumeration context.
 	Workers int
+	// DefaultDeadline bounds each request's optimization when the client
+	// does not pass ?deadline_ms=. Zero means no server-side deadline
+	// (the request still inherits the connection's context).
+	DefaultDeadline time.Duration
+	// Budget is the per-request enumeration budget. If a deadline applies
+	// and Budget.SoftDeadline is zero, the soft deadline is set to 80% of
+	// it so requests degrade gracefully before the hard deadline kills
+	// them.
+	Budget core.Budget
+	// MaxBodyBytes caps the request body size; oversized plans are
+	// rejected with 413 before parsing. Zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
+	reqSeq  atomic.Int64
+	mOnce   sync.Once
+	metrics *obs.Registry
 
 	mu    sync.Mutex
 	stats struct {
-		Requests  int64
-		Failures  int64
-		TotalMs   float64
-		LastError string
+		Requests         int64
+		Failures         int64
+		DeadlineExceeded int64
+		Degraded         int64
+		TotalMs          float64
+		LastError        string
 	}
+}
+
+// Metrics returns the server's metric registry (created on first use), the
+// data behind /metricz.
+func (s *Server) Metrics() *obs.Registry {
+	s.mOnce.Do(func() { s.metrics = obs.NewRegistry() })
+	return s.metrics
 }
 
 // OptimizeResponse is the JSON reply of POST /optimize.
 type OptimizeResponse struct {
+	// RequestID identifies the request in logs and metrics (also sent as
+	// the X-Request-Id header).
+	RequestID string `json:"requestId"`
 	// Assignments maps operator id (slice index) to platform name.
 	Assignments []string `json:"assignments"`
 	// Conversions lists the data movement operators of the plan.
@@ -50,8 +122,15 @@ type OptimizeResponse struct {
 	// configured; OOM/aborted runs surface via SimulatedLabel.
 	SimulatedRuntimeSec float64 `json:"simulatedRuntimeSec,omitempty"`
 	SimulatedLabel      string  `json:"simulatedLabel,omitempty"`
+	// Degraded reports that the enumeration budget (or the soft deadline)
+	// was exhausted and the plan is best-effort; DegradeReason names the
+	// exhausted dimension.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degradeReason,omitempty"`
 	// Stats summarizes the enumeration work.
 	Stats StatsJSON `json:"stats"`
+	// StageMs breaks the optimization latency down by pipeline stage.
+	StageMs map[string]float64 `json:"stageMs"`
 	// OptimizationMs is the wall-clock optimization latency.
 	OptimizationMs float64 `json:"optimizationMs"`
 }
@@ -64,7 +143,7 @@ type ConversionJSON struct {
 	Tuples   float64 `json:"tuples"`
 }
 
-// StatsJSON mirrors core.Stats.
+// StatsJSON mirrors the counter fields of core.Stats.
 type StatsJSON struct {
 	VectorsCreated int `json:"vectorsCreated"`
 	Merges         int `json:"merges"`
@@ -73,8 +152,14 @@ type StatsJSON struct {
 	PeakEnumSize   int `json:"peakEnumSize"`
 }
 
+// ErrorResponse is the JSON body of every error reply.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	RequestID string `json:"requestId"`
+}
+
 // Handler returns the HTTP handler: POST /optimize, GET /healthz,
-// GET /statz.
+// GET /statz, GET /metricz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
@@ -82,33 +167,93 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
 	return mux
 }
 
+func (s *Server) maxBody() int64 {
+	if s.MaxBodyBytes > 0 {
+		return s.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// deadline resolves the effective deadline of a request: ?deadline_ms= wins
+// over the server default. A malformed or non-positive value is an error.
+func (s *Server) deadline(r *http.Request) (time.Duration, error) {
+	q := r.URL.Query().Get("deadline_ms")
+	if q == "" {
+		return s.DefaultDeadline, nil
+	}
+	ms, err := strconv.Atoi(q)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("service: deadline_ms must be a positive integer, got %q", q)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a JSON logical plan", http.StatusMethodNotAllowed)
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST a JSON logical plan"))
 		return
 	}
 	start := time.Now()
-	l, err := plan.UnmarshalJSONPlan(r.Body)
+	deadline, err := s.deadline(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, reqID, http.StatusBadRequest, err)
 		return
 	}
-	ctx, err := core.NewContext(l, s.Platforms, s.Avail)
+	l, err := plan.UnmarshalJSONPlan(http.MaxBytesReader(w, r.Body, s.maxBody()))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, reqID, code, err)
 		return
 	}
-	ctx.Workers = s.Workers
-	res, err := ctx.Optimize(s.Model)
+	cctx, err := core.NewContext(l, s.Platforms, s.Avail)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, err)
+		s.fail(w, reqID, http.StatusBadRequest, err)
+		return
+	}
+	cctx.Workers = s.Workers
+	budget := s.Budget
+	if budget.SoftDeadline == 0 && deadline > 0 {
+		// Degrade at 80% of the deadline so the request has slack to
+		// finish its best-effort plan before the hard cutoff.
+		budget.SoftDeadline = deadline * 4 / 5
+	}
+	cctx.Budget = budget
+
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := cctx.Optimize(ctx, s.Model)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.mu.Lock()
+			s.stats.DeadlineExceeded++
+			s.mu.Unlock()
+			s.Metrics().Counter("deadline_exceeded_total").Inc()
+			s.fail(w, reqID, http.StatusServiceUnavailable,
+				fmt.Errorf("service: optimization exceeded its deadline of %v: %w", deadline, err))
+			return
+		}
+		s.fail(w, reqID, http.StatusUnprocessableEntity, err)
 		return
 	}
 	resp := OptimizeResponse{
+		RequestID:           reqID,
 		PredictedRuntimeSec: res.Predicted,
+		Degraded:            res.Degraded,
+		DegradeReason:       res.Stats.DegradeReason,
 		Stats: StatsJSON{
 			VectorsCreated: res.Stats.VectorsCreated,
 			Merges:         res.Stats.Merges,
@@ -116,6 +261,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Pruned:         res.Stats.Pruned,
 			PeakEnumSize:   res.Stats.PeakEnumSize,
 		},
+		StageMs:        res.Stats.Timings.Milliseconds(),
 		OptimizationMs: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for _, p := range res.Execution.Assign {
@@ -138,23 +284,53 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.stats.Requests++
 	s.stats.TotalMs += resp.OptimizationMs
+	if res.Degraded {
+		s.stats.Degraded++
+	}
 	s.mu.Unlock()
+	s.record(resp, res)
 
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// The plan was computed but the client will not see it (usually a
+		// dropped connection): that is a failed request, not just a note.
 		s.mu.Lock()
+		s.stats.Failures++
 		s.stats.LastError = err.Error()
 		s.mu.Unlock()
+		s.Metrics().Counter("encode_failures_total").Inc()
+		s.Metrics().Counter("failures_total").Inc()
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+// record feeds one successful optimization into the metric registry.
+func (s *Server) record(resp OptimizeResponse, res *core.Result) {
+	m := s.Metrics()
+	m.Counter("requests_total").Inc()
+	if res.Degraded {
+		m.Counter("degraded_total").Inc()
+	}
+	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
+	m.Histogram("vectors_created").Observe(float64(res.Stats.VectorsCreated))
+	m.Histogram("model_calls").Observe(float64(res.Stats.ModelCalls))
+	for stage, ms := range res.Stats.Timings.Milliseconds() {
+		m.Histogram("stage_" + stage + "_ms").Observe(ms)
+	}
+}
+
+// fail reports an error reply as JSON and counts it.
+func (s *Server) fail(w http.ResponseWriter, reqID string, code int, err error) {
 	s.mu.Lock()
 	s.stats.Requests++
 	s.stats.Failures++
 	s.stats.LastError = err.Error()
 	s.mu.Unlock()
-	http.Error(w, err.Error(), code)
+	m := s.Metrics()
+	m.Counter("requests_total").Inc()
+	m.Counter("failures_total").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), RequestID: reqID})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -166,9 +342,16 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		avg = s.stats.TotalMs / float64(n)
 	}
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"requests":  s.stats.Requests,
-		"failures":  s.stats.Failures,
-		"avgMs":     avg,
-		"lastError": s.stats.LastError,
+		"requests":         s.stats.Requests,
+		"failures":         s.stats.Failures,
+		"deadlineExceeded": s.stats.DeadlineExceeded,
+		"degraded":         s.stats.Degraded,
+		"avgMs":            avg,
+		"lastError":        s.stats.LastError,
 	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.Metrics().Snapshot())
 }

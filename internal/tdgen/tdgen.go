@@ -13,6 +13,7 @@
 package tdgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -459,7 +460,7 @@ func (g *Generator) instantiateLadder(build func(x float64) (*plan.Logical, erro
 // model to *rank* a query's alternatives, not just to scale with input size.
 func (g *Generator) selectAssignments(mid *plan.Logical, ctx *core.Context) ([][]uint8, error) {
 	var st core.Stats
-	final, err := ctx.EnumerateFull(core.SwitchPruner{Beta: g.cfg.Beta, MaxVectors: 4 * g.cfg.PlansPerTemplate}, core.OrderPriority, &st)
+	final, err := ctx.EnumerateFull(context.Background(), core.SwitchPruner{Beta: g.cfg.Beta, MaxVectors: 4 * g.cfg.PlansPerTemplate}, core.OrderPriority, &st)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@
 package robopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -58,6 +59,9 @@ type (
 	Availability = platform.Availability
 	// Stats counts the enumeration work of one optimization.
 	Stats = core.Stats
+	// Budget bounds the work of one optimization run; exhausted budgets
+	// degrade the plan instead of failing (Result.Degraded).
+	Budget = core.Budget
 	// Cluster is the simulated cross-platform deployment.
 	Cluster = simulator.Cluster
 	// RunResult is the outcome of simulating an execution plan.
@@ -215,6 +219,11 @@ type Optimizer struct {
 	// calls fan out over this many goroutines). 0 runs serially; results
 	// are identical either way.
 	Workers int
+
+	// Budget bounds each optimization run (vectors, model calls, soft
+	// wall-clock). The zero value is unlimited. On exhaustion the run
+	// degrades gracefully and flags Result.Degraded instead of erroring.
+	Budget Budget
 }
 
 // Train generates training data with TDGen on the simulated cluster, fits
@@ -273,24 +282,38 @@ type Result struct {
 	Execution *Execution
 	// PredictedRuntime is the model's estimate for it, in seconds.
 	PredictedRuntime float64
+	// Degraded reports that the optimizer's Budget was exhausted and the
+	// plan is best-effort rather than enumeration-optimal.
+	Degraded bool
 	// Stats counts the enumeration work performed.
 	Stats Stats
 }
 
 // Optimize returns the cheapest execution plan for the logical plan
 // according to the trained model, enumerating with boundary pruning in
-// priority order (Algorithm 1).
+// priority order (Algorithm 1). It is OptimizeContext with
+// context.Background(): uncancellable, but still subject to the optimizer's
+// Budget.
 func (o *Optimizer) Optimize(p *Plan) (*Result, error) {
-	ctx, err := core.NewContext(p, o.platforms, o.avail)
+	return o.OptimizeContext(context.Background(), p)
+}
+
+// OptimizeContext is Optimize bounded by ctx: cancellation or an expired
+// deadline aborts the enumeration promptly and returns ctx.Err(). Combine a
+// deadline with a Budget soft deadline to get a best-effort (degraded) plan
+// shortly before the hard deadline instead of an error at it.
+func (o *Optimizer) OptimizeContext(ctx context.Context, p *Plan) (*Result, error) {
+	c, err := core.NewContext(p, o.platforms, o.avail)
 	if err != nil {
 		return nil, err
 	}
-	ctx.Workers = o.Workers
-	res, err := ctx.Optimize(o.model)
+	c.Workers = o.Workers
+	c.Budget = o.Budget
+	res, err := c.Optimize(ctx, o.model)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Execution: res.Execution, PredictedRuntime: res.Predicted, Stats: res.Stats}, nil
+	return &Result{Execution: res.Execution, PredictedRuntime: res.Predicted, Degraded: res.Degraded, Stats: res.Stats}, nil
 }
 
 // OptimizeSinglePlatform returns the best plan that uses exactly one
