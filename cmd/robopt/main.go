@@ -46,7 +46,7 @@ func main() {
 		dotPath   = flag.String("dot", "", "write the chosen execution plan as Graphviz DOT to this path")
 		deadline  = flag.Duration("deadline", 0, "abort the optimization after this long (0 = none); combine with -budget-* to degrade instead")
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
-		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many model invocations (0 = unlimited)")
+		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
 	)
 	flag.Parse()
 	if *planPath == "" {
@@ -147,18 +147,19 @@ func main() {
 		}
 		x = res.Execution
 		fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
-		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model calls, %d pruned\n",
-			res.Stats.VectorsCreated, res.Stats.Merges, res.Stats.ModelCalls, res.Stats.Pruned)
+		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model rows in %d batches (%d memo hits), %d pruned\n",
+			res.Stats.VectorsCreated, res.Stats.Merges, res.Stats.ModelRows,
+			res.Stats.ModelBatches, res.Stats.MemoHits, res.Stats.Pruned)
 		if res.Degraded {
 			fmt.Printf("note: budget exhausted (%s); plan is best-effort, not enumeration-optimal\n",
 				res.Stats.DegradeReason)
 		}
 		if *verbose {
 			t := res.Stats.Timings
-			fmt.Printf("stage timings: vectorize=%v enumerate=%v merge=%v prune=%v unvectorize=%v\n",
+			fmt.Printf("stage timings: vectorize=%v enumerate=%v merge=%v prune=%v unvectorize=%v (infer=%v)\n",
 				t.Vectorize.Round(time.Microsecond), t.Enumerate.Round(time.Microsecond),
 				t.Merge.Round(time.Microsecond), t.Prune.Round(time.Microsecond),
-				t.Unvectorize.Round(time.Microsecond))
+				t.Unvectorize.Round(time.Microsecond), t.Infer.Round(time.Microsecond))
 		}
 	case "single":
 		score, err := scoreFn(h, l, plats, avail, model)

@@ -37,7 +37,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
 		deadline  = flag.Duration("deadline", 30*time.Second, "default per-request optimization deadline (override per request with ?deadline_ms=)")
 		budgetVec = flag.Int("budget-vectors", 0, "degrade enumeration after this many plan vectors (0 = unlimited)")
-		budgetMC  = flag.Int("budget-model-calls", 0, "degrade enumeration after this many model invocations (0 = unlimited)")
+		budgetMC  = flag.Int("budget-model-calls", 0, "degrade enumeration after this many cost-oracle feature rows (0 = unlimited)")
 		maxBody   = flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "reject request bodies larger than this")
 	)
 	flag.Parse()

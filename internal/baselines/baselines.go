@@ -27,6 +27,7 @@ import (
 	"repro/internal/mlmodel"
 	"repro/internal/plan"
 	"repro/internal/platform"
+	"repro/internal/vecops"
 )
 
 // SubPlan is an object-graph partial execution plan: the per-operator
@@ -49,6 +50,14 @@ func (sp *SubPlan) clone() *SubPlan {
 // Oracle estimates the runtime of a subplan object.
 type Oracle interface {
 	Estimate(sp *SubPlan) float64
+}
+
+// BatchOracle is an Oracle that can estimate many subplans in one call.
+// EstimateBatch must be arithmetically identical to calling Estimate on each
+// subplan in order; out must have at least len(sps) entries.
+type BatchOracle interface {
+	Oracle
+	EstimateBatch(sps []*SubPlan, out []float64)
 }
 
 // Stats mirrors core.Stats for the object-based enumeration.
@@ -122,6 +131,22 @@ func (o MLOracle) Estimate(sp *SubPlan) float64 {
 	}
 	v := o.Ctx.VectorizeSubplan(assign)
 	return o.Model.Predict(v.F)
+}
+
+// EstimateBatch estimates many subplans with a single model invocation. The
+// per-subplan object-to-vector transformation is still paid for every row —
+// that overhead is the point of the Rheem-ML baseline — only the model
+// inference itself is batched.
+func (o MLOracle) EstimateBatch(sps []*SubPlan, out []float64) {
+	X := vecops.NewMatrix(len(sps), o.Ctx.Schema.Len())
+	for i, sp := range sps {
+		assign := make(map[plan.OpID]uint8, len(sp.Ops))
+		for id, p := range sp.Ops {
+			assign[id] = uint8(o.Ctx.Schema.PlatIndex(p))
+		}
+		copy(X.Row(i), o.Ctx.VectorizeSubplan(assign).F)
+	}
+	mlmodel.Batcher(o.Model).PredictBatch(X, out[:len(sps)])
 }
 
 // enumeration is an object-based plan enumeration: a scope and its subplan
@@ -236,10 +261,9 @@ func (z *Optimizer) Optimize() (*Result, error) {
 	}
 
 	final := h[0].e
+	z.estimateAll(final.plans, &st)
 	var best *SubPlan
 	for _, sp := range final.plans {
-		sp.Cost = z.Oracle.Estimate(sp)
-		st.OracleCalls++
 		if best == nil || sp.Cost < best.Cost {
 			best = sp
 		}
@@ -279,22 +303,36 @@ func (z *Optimizer) merge(a, b *SubPlan, crossing []plan.Edge, st *Stats) *SubPl
 	return out
 }
 
+// estimateAll fills sp.Cost for every subplan, using one EstimateBatch call
+// when the oracle supports batching and the per-subplan scalar path
+// otherwise. OracleCalls counts subplans either way, so the baseline stats
+// stay comparable across oracle kinds.
+func (z *Optimizer) estimateAll(sps []*SubPlan, st *Stats) {
+	if bo, ok := z.Oracle.(BatchOracle); ok && len(sps) > 1 {
+		out := make([]float64, len(sps))
+		bo.EstimateBatch(sps, out)
+		for i, sp := range sps {
+			sp.Cost = out[i]
+		}
+	} else {
+		for _, sp := range sps {
+			sp.Cost = z.Oracle.Estimate(sp)
+		}
+	}
+	st.OracleCalls += len(sps)
+}
+
 // prune applies the boundary pruning (Definition 2) on subplan objects,
 // keying on a string of (boundary operator, platform) pairs.
 func (z *Optimizer) prune(e *enumeration, st *Stats) {
+	z.estimateAll(e.plans, st)
 	if len(e.plans) <= 1 {
-		if len(e.plans) == 1 {
-			e.plans[0].Cost = z.Oracle.Estimate(e.plans[0])
-			st.OracleCalls++
-		}
 		return
 	}
 	bestByKey := map[string]int{}
 	kept := e.plans[:0]
 	keyBuf := make([]byte, len(e.boundary))
 	for _, sp := range e.plans {
-		sp.Cost = z.Oracle.Estimate(sp)
-		st.OracleCalls++
 		for i, id := range e.boundary {
 			keyBuf[i] = byte(sp.Ops[id])
 		}

@@ -84,12 +84,12 @@ func (c *Context) OptimizeOpts(ctx context.Context, m CostModel, pr Pruner, orde
 	if err != nil {
 		return nil, err
 	}
-	best := GetOptimal(final, m, &st)
-	if best == nil {
-		return nil, fmt.Errorf("core: enumeration produced no plan vectors")
-	}
+	best := c.GetOptimal(ctx, final, m, &st)
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: enumeration produced no plan vectors")
 	}
 	start := time.Now()
 	x, err := c.Unvectorize(best)
@@ -109,12 +109,13 @@ func (c *Context) OptimizeExhaustive(ctx context.Context, m CostModel, maxVector
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	c.resetMemo()
 	var st Stats
 	e, err := c.Enumerate(ctx, c.Vectorize(), maxVectors, &st)
 	if err != nil {
 		return nil, err
 	}
-	best := GetOptimal(e, m, &st)
+	best := c.GetOptimal(ctx, e, m, &st)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -196,6 +197,10 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 		// not want them.
 		st = new(Stats)
 	}
+	// Each run gets a fresh prediction memo so consecutive runs on one
+	// Context are independent (and produce equal Counters()). GetOptimal,
+	// called right after this returns, still sees this run's entries.
+	c.resetMemo()
 	start := time.Now()
 	n := c.Plan.NumOps()
 	if n == 0 {
@@ -265,15 +270,15 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 			}
 			pairs := Iterate(cur, child.e)
 			info := c.MergeInfo(cur, child.e)
-			merged := &Enumeration{Scope: cur.Scope.Union(child.e.Scope)}
-			merged.Vectors = make([]*Vector, len(pairs))
+			merged := c.arenaEnum(cur.Scope.Union(child.e.Scope), len(pairs))
 			mergeStart := time.Now()
 			// Merge is a pure function of its two inputs, so the
-			// cartesian product fans out across workers; chunked
-			// writes keep the vector order deterministic.
+			// cartesian product fans out across workers writing into
+			// disjoint arena rows; chunked writes keep the vector
+			// order deterministic.
 			err := parallelForCtx(ctx, len(pairs), c.Workers, mergeBlock, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					merged.Vectors[i] = c.Merge(pairs[i][0], pairs[i][1], info, nil)
+					c.mergeInto(merged.Vectors[i], pairs[i][0], pairs[i][1], info, nil)
 				}
 			})
 			st.Timings.Merge += time.Since(mergeStart)

@@ -126,9 +126,67 @@ func BenchmarkPrune(b *testing.B) {
 	copy(orig, e.Vectors)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		ctx.memo = nil // fresh memo: measure inference, not cache hits
 		e.Vectors = append(e.Vectors[:0], orig...)
 		BoundaryPruner{Model: model}.Prune(context.Background(), ctx, e, nil)
 	}
+}
+
+// BenchmarkAblationBatch compares one merge+prune step of the enumeration on
+// the pre-batching scalar path (per-pair allocating Merge, one model call
+// per vector) against the batch path (arena-backed merge, one PredictBatch
+// over the enumeration's feature matrix) at the scale of Figure 9a's
+// 40-operator pipeline.
+func BenchmarkAblationBatch(b *testing.B) {
+	ctx := benchContext(b, 40, 2)
+	model := weightModel{}
+	// Pre-build the step's inputs: an 11-operator prefix enumeration
+	// (2^11 vectors) about to be merged with the next singleton —
+	// 4096 merge pairs scored by one prune.
+	left := ctx.enumerateSingleton(0, nil)
+	for id := 1; id < 11; id++ {
+		next := ctx.enumerateSingleton(plan.OpID(id), nil)
+		pairs := Iterate(left, next)
+		info := ctx.MergeInfo(left, next)
+		merged := ctx.arenaEnum(left.Scope.Union(next.Scope), len(pairs))
+		for i, pr := range pairs {
+			ctx.mergeInto(merged.Vectors[i], pr[0], pr[1], info, nil)
+		}
+		merged.Boundary = ctx.boundaryOf(merged.Scope)
+		left = merged
+	}
+	right := ctx.enumerateSingleton(plan.OpID(11), nil)
+	pairs := Iterate(left, right)
+	info := ctx.MergeInfo(left, right)
+	scope := left.Scope.Union(right.Scope)
+	boundary := ctx.boundaryOf(scope)
+
+	b.Run("ScalarPredict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			merged := &Enumeration{Scope: scope, Boundary: boundary,
+				Vectors: make([]*Vector, 0, len(pairs))}
+			for _, pr := range pairs {
+				merged.Vectors = append(merged.Vectors, ctx.Merge(pr[0], pr[1], info, nil))
+			}
+			for _, v := range merged.Vectors {
+				v.Cost = model.Predict(v.F)
+			}
+			dedupFootprint(merged, nil)
+		}
+	})
+	b.Run("PredictBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.memo = nil // fresh memo: measure inference, not cache hits
+			merged := ctx.arenaEnum(scope, len(pairs))
+			merged.Boundary = boundary
+			for j, pr := range pairs {
+				ctx.mergeInto(merged.Vectors[j], pr[0], pr[1], info, nil)
+			}
+			BoundaryPruner{Model: model}.Prune(context.Background(), ctx, merged, nil)
+		}
+	})
 }
 
 // BenchmarkParallelEnumeration compares the serial and parallel enumeration
@@ -161,4 +219,12 @@ func (weightModel) Predict(f []float64) float64 {
 		s += v * float64(i%7)
 	}
 	return s
+}
+
+// PredictBatch scores each row with the same arithmetic as Predict, making
+// weightModel a native BatchCostModel for the benchmarks above.
+func (m weightModel) PredictBatch(X *vecops.Matrix, out []float64) {
+	for i := 0; i < X.Rows; i++ {
+		out[i] = m.Predict(X.Row(i))
+	}
 }

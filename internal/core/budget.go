@@ -29,8 +29,11 @@ type Budget struct {
 	// (Stats.VectorsCreated, counting projected concatenation sizes before
 	// they are materialized). 0 means unlimited.
 	MaxVectors int
-	// MaxModelCalls bounds cost-oracle invocations (Stats.ModelCalls).
-	// 0 means unlimited.
+	// MaxModelCalls bounds the feature rows sent to the cost oracle
+	// (Stats.ModelRows) — the per-row quantity that scalar model calls
+	// used to count, so existing budget values keep their meaning under
+	// batched inference. Memoized predictions are free. 0 means
+	// unlimited.
 	MaxModelCalls int
 	// SoftDeadline bounds the wall-clock enumeration time, measured from
 	// the start of EnumerateFull. Unlike a context deadline it degrades
@@ -62,7 +65,7 @@ func (b Budget) exhausted(st *Stats, start time.Time, projected int) string {
 	if b.MaxVectors > 0 && st.VectorsCreated+projected > b.MaxVectors {
 		return "max-vectors"
 	}
-	if b.MaxModelCalls > 0 && st.ModelCalls >= b.MaxModelCalls {
+	if b.MaxModelCalls > 0 && st.ModelRows >= b.MaxModelCalls {
 		return "max-model-calls"
 	}
 	if b.SoftDeadline > 0 && time.Since(start) >= b.SoftDeadline {

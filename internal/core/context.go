@@ -24,7 +24,9 @@ type CostModel interface {
 type Stats struct {
 	VectorsCreated int // plan vectors materialized (enumerated subplans)
 	Merges         int // merge operations performed
-	ModelCalls     int // cost-oracle invocations
+	ModelBatches   int // batched cost-oracle invocations (one per predicted enumeration)
+	ModelRows      int // feature rows sent to the cost oracle across all batches
+	MemoHits       int // predictions served from the per-run memo instead of the model
 	Pruned         int // vectors discarded by pruning
 	PeakEnumSize   int // largest enumeration encountered
 
@@ -79,7 +81,8 @@ type Context struct {
 	// invocations fan out across this many goroutines. 0 or 1 runs
 	// serially. Results are identical either way — merge is a pure
 	// function and vector order is preserved — but the cost model must
-	// be safe for concurrent Predict calls (all mlmodel models are).
+	// be safe for concurrent Predict and PredictBatch calls (all mlmodel
+	// models are).
 	Workers int
 
 	// Budget bounds the work of one optimization run; the zero value is
@@ -95,7 +98,20 @@ type Context struct {
 	depth        []int         // per op: longest path from a source
 	adjacency    [][]plan.OpID // per op: all neighbours (in and out)
 	effIters     []float64     // per op: loop iterations (1 outside loops)
+
+	// memo caches model predictions within one optimization run, keyed by
+	// the vector's full assignment bytes: a subvector re-entering the
+	// prediction path (GetOptimal after the final prune, re-merged
+	// identical subplans) is served from here instead of the model. It is
+	// reset at the start of every run (EnumerateFull/OptimizeExhaustive)
+	// so consecutive runs on one Context stay independent and their
+	// Stats.Counters() stay comparable. It lives here rather than on
+	// Stats to keep Stats a comparable struct.
+	memo map[string]float64
 }
+
+// resetMemo clears the per-run prediction memo.
+func (c *Context) resetMemo() { c.memo = nil }
 
 // NewContext prepares an optimization context for plan l over the given
 // platform universe and availability matrix.

@@ -614,7 +614,16 @@ func TestStatsCountModelCalls(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
-	if res.Stats.ModelCalls == 0 || res.Stats.Merges == 0 || res.Stats.Pruned == 0 {
+	if res.Stats.ModelBatches == 0 || res.Stats.ModelRows == 0 || res.Stats.Merges == 0 || res.Stats.Pruned == 0 {
 		t.Fatalf("stats look unpopulated: %+v", res.Stats)
+	}
+	if res.Stats.ModelRows < res.Stats.ModelBatches {
+		t.Fatalf("ModelRows %d < ModelBatches %d", res.Stats.ModelRows, res.Stats.ModelBatches)
+	}
+	// The final GetOptimal re-scores vectors the last prune already
+	// predicted, so the per-run memo must have served at least the
+	// surviving vector.
+	if res.Stats.MemoHits == 0 {
+		t.Fatalf("memo never hit: %+v", res.Stats)
 	}
 }

@@ -18,10 +18,40 @@ type Enumeration struct {
 	Scope    plan.Bitset
 	Boundary []plan.OpID
 	Vectors  []*Vector
+
+	// mat is the shared arena behind the vectors' feature blocks when the
+	// enumeration was built by the batch path: Vectors[i].F aliases row i.
+	// Pruning shrinks Vectors without touching the arena, so consumers
+	// must re-verify the alignment (featureMatrix does) before treating
+	// the arena as the enumeration's feature matrix. nil for enumerations
+	// assembled vector by vector.
+	mat *vecops.Matrix
 }
 
 // Size returns the number of plan vectors in the enumeration.
 func (e *Enumeration) Size() int { return len(e.Vectors) }
+
+// arenaEnum allocates an enumeration of n vectors whose feature blocks
+// share one flat row-major matrix and whose assignments share one flat byte
+// block — three allocations total instead of 3n, and the layout batched
+// model inference consumes without copying.
+func (c *Context) arenaEnum(scope plan.Bitset, n int) *Enumeration {
+	e := &Enumeration{
+		Scope:   scope,
+		Vectors: make([]*Vector, n),
+		mat:     vecops.NewMatrix(n, c.Schema.Len()),
+	}
+	vecs := make([]Vector, n)
+	nOps := c.Plan.NumOps()
+	assign := make([]uint8, n*nOps)
+	for i := 0; i < n; i++ {
+		v := &vecs[i]
+		v.F = e.mat.Row(i)
+		v.Assign = assign[i*nOps : (i+1)*nOps : (i+1)*nOps]
+		e.Vectors[i] = v
+	}
+	return e
+}
 
 // ---------------------------------------------------------------------------
 // Core operations (Section IV-C)
@@ -185,18 +215,20 @@ func (c *Context) Enumerate(ctx context.Context, a *Abstract, maxVectors int, st
 		}
 		next := c.enumerateSingleton(id, st)
 		pairs := Iterate(e, next)
+		// The concatenation has exactly len(pairs) vectors, so an
+		// oversized product is rejected before its arena is allocated.
+		if maxVectors > 0 && len(pairs) > maxVectors {
+			return nil, fmt.Errorf("core: enumeration exceeds %d vectors", maxVectors)
+		}
 		info := c.MergeInfo(e, next)
-		merged := &Enumeration{Scope: e.Scope.Union(next.Scope)}
+		merged := c.arenaEnum(e.Scope.Union(next.Scope), len(pairs))
 		for i, pr := range pairs {
 			if i%mergeBlock == 0 {
 				if err := check(); err != nil {
 					return nil, err
 				}
 			}
-			merged.Vectors = append(merged.Vectors, c.Merge(pr[0], pr[1], info, st))
-			if maxVectors > 0 && len(merged.Vectors) > maxVectors {
-				return nil, fmt.Errorf("core: enumeration exceeds %d vectors", maxVectors)
-			}
+			c.mergeInto(merged.Vectors[i], pr[0], pr[1], info, st)
 		}
 		merged.Boundary = c.boundaryOf(merged.Scope)
 		e = merged
@@ -214,9 +246,10 @@ func (c *Context) enumerateSingleton(id plan.OpID, st *Stats) *Enumeration {
 	s := c.Schema
 	scope := plan.NewBitset(c.Plan.NumOps())
 	scope.Set(id)
-	e := &Enumeration{Scope: scope, Boundary: c.boundaryOf(scope)}
-	for _, pi := range c.alternatives[id] {
-		v := &Vector{F: make([]float64, s.Len()), Assign: make([]uint8, c.Plan.NumOps())}
+	e := c.arenaEnum(scope, len(c.alternatives[id]))
+	e.Boundary = c.boundaryOf(scope)
+	for vi, pi := range c.alternatives[id] {
+		v := e.Vectors[vi]
 		for i := range v.Assign {
 			v.Assign[i] = Unassigned
 		}
@@ -224,7 +257,6 @@ func (c *Context) enumerateSingleton(id plan.OpID, st *Stats) *Enumeration {
 		c.addSingletonStructure(v.F, o)
 		c.addPlatformChoice(v.F, o, int(pi))
 		v.F[s.DatasetCell()] = c.Plan.AvgTupleBytes
-		e.Vectors = append(e.Vectors, v)
 		if st != nil {
 			st.VectorsCreated++
 		}
@@ -301,8 +333,17 @@ func (c *Context) MergeInfo(a, b *Enumeration) *MergeCtx {
 // commutative and, across any merge tree over disjoint scopes, associative:
 // every crossing edge is accounted exactly once.
 func (c *Context) Merge(v1, v2 *Vector, info *MergeCtx, st *Stats) *Vector {
+	out := &Vector{F: make([]float64, c.Schema.Len()), Assign: make([]uint8, len(v1.Assign))}
+	c.mergeInto(out, v1, v2, info, st)
+	return out
+}
+
+// mergeInto is Merge writing into a pre-allocated vector (an arena row on
+// the enumeration fast path). out.F and out.Assign must have the schema and
+// plan widths; every cell is overwritten.
+func (c *Context) mergeInto(out, v1, v2 *Vector, info *MergeCtx, st *Stats) {
 	s := c.Schema
-	out := &Vector{F: make([]float64, s.Len()), Assign: make([]uint8, len(v1.Assign))}
+	out.Cost = 0
 	vecops.Add(out.F, v1.F, v2.F)
 	out.F[TopoPipeline] -= float64(info.Fuses)
 	// The dataset cell and the per-platform peak-bytes cells merge by max,
@@ -339,7 +380,6 @@ func (c *Context) Merge(v1, v2 *Vector, info *MergeCtx, st *Stats) *Vector {
 		st.Merges++
 		st.VectorsCreated++
 	}
-	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -372,28 +412,25 @@ type BoundaryPruner struct {
 }
 
 // Prune applies boundary pruning to e using the model as the cost oracle.
-// Survivors carry their predicted cost in Vector.Cost. A cancelled ctx
-// returns early without pruning; the caller is expected to abandon the
-// enumeration.
+// The whole enumeration is scored with one batched model invocation (memo
+// hits excepted; see predictEnum) and survivors carry their predicted cost
+// in Vector.Cost. A cancelled ctx returns early without pruning; the caller
+// is expected to abandon the enumeration.
 func (p BoundaryPruner) Prune(ctx context.Context, c *Context, e *Enumeration, st *Stats) {
 	if len(e.Vectors) == 0 {
 		return
 	}
-	// Model invocation is the dominant cost and every call is independent:
-	// fan the predictions out across the context's workers, checking ctx
-	// every few calls so slow oracles cannot outlive the deadline.
-	err := parallelForCtx(ctx, len(e.Vectors), c.Workers, pruneBlock, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e.Vectors[i].Cost = p.Model.Predict(e.Vectors[i].F)
-		}
-	})
-	if err != nil {
+	if !c.predictEnum(ctx, p.Model, e, st) {
 		return
 	}
-	if st != nil {
-		st.ModelCalls += len(e.Vectors)
-	}
-	if len(e.Vectors) == 1 {
+	dedupFootprint(e, st)
+}
+
+// dedupFootprint keeps, per pruning footprint, only the cheapest vector
+// (costs must already be set). It is the lossless half of boundary pruning,
+// shared by BoundaryPruner and the batch ablation benchmark.
+func dedupFootprint(e *Enumeration, st *Stats) {
+	if len(e.Vectors) <= 1 {
 		return
 	}
 	type slot struct{ idx int }
@@ -474,21 +511,20 @@ func (NoPruner) Prune(context.Context, *Context, *Enumeration, *Stats) {}
 
 // GetOptimal predicts the runtime of every vector in e and returns the one
 // with the lowest prediction (Algorithm 1, line 18). Ties resolve to the
-// earliest vector for determinism.
-func GetOptimal(e *Enumeration, m CostModel, st *Stats) *Vector {
+// earliest vector for determinism. Prediction goes through the same batched
+// helper as the pruners (after a pruned run, every survivor is a memo hit,
+// so the final selection costs no model work at all). A nil return means
+// the enumeration was empty or ctx was cancelled mid-batch; the caller
+// distinguishes the two via ctx.Err().
+func (c *Context) GetOptimal(ctx context.Context, e *Enumeration, m CostModel, st *Stats) *Vector {
 	if len(e.Vectors) == 0 {
 		return nil
 	}
-	best := e.Vectors[0]
-	best.Cost = m.Predict(best.F)
-	if st != nil {
-		st.ModelCalls++
+	if !c.predictEnum(ctx, m, e, st) {
+		return nil
 	}
+	best := e.Vectors[0]
 	for _, v := range e.Vectors[1:] {
-		v.Cost = m.Predict(v.F)
-		if st != nil {
-			st.ModelCalls++
-		}
 		if v.Cost < best.Cost {
 			best = v
 		}

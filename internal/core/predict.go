@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/vecops"
+)
+
+// BatchCostModel is a CostModel that can predict a whole feature matrix in
+// one call, filling out[i] for row i. mlmodel.BatchModel satisfies it
+// structurally (mlmodel.Matrix is an alias of vecops.Matrix), keeping core
+// free of an mlmodel dependency. Implementations must be safe for
+// concurrent PredictBatch calls: the enumeration chunks one matrix across
+// workers.
+type BatchCostModel interface {
+	CostModel
+	PredictBatch(X *vecops.Matrix, out []float64)
+}
+
+// asBatch returns m as a BatchCostModel, wrapping scalar models with a
+// per-row loop so third-party CostModels keep working unchanged.
+func asBatch(m CostModel) BatchCostModel {
+	if bm, ok := m.(BatchCostModel); ok {
+		return bm
+	}
+	return scalarBatch{m}
+}
+
+type scalarBatch struct{ CostModel }
+
+func (b scalarBatch) PredictBatch(X *vecops.Matrix, out []float64) {
+	for i := 0; i < X.Rows; i++ {
+		out[i] = b.Predict(X.Row(i))
+	}
+}
+
+// featureMatrix returns a flat row-major matrix over the current vectors of
+// e. When the vectors still alias the enumeration's merge arena row for row
+// (the common case: predict runs right after the merge that built them),
+// this is a zero-copy view; otherwise — after pruning reordered the
+// survivors, or when a caller replaced e.Vectors outright — the rows are
+// gathered into a fresh matrix.
+func (e *Enumeration) featureMatrix(cols int) *vecops.Matrix {
+	n := len(e.Vectors)
+	if e.mat != nil && e.mat.Cols == cols && n <= e.mat.Rows {
+		aligned := true
+		for i, v := range e.Vectors {
+			if len(v.F) != cols || &v.F[0] != &e.mat.Data[i*cols] {
+				aligned = false
+				break
+			}
+		}
+		if aligned {
+			m := e.mat.RowsView(0, n)
+			return &m
+		}
+	}
+	m := vecops.NewMatrix(n, cols)
+	for i, v := range e.Vectors {
+		copy(m.Row(i), v.F)
+	}
+	return m
+}
+
+// predictEnum sets Vector.Cost for every vector of e through one batched
+// model invocation, and is the single prediction/accounting path shared by
+// BoundaryPruner, PropertyPruner and GetOptimal. Vectors whose full
+// assignment was already predicted in this run are served from the per-run
+// memo (Stats.MemoHits); the rest form one flat matrix scored by a single
+// logical PredictBatch (Stats.ModelBatches/ModelRows), chunked across
+// workers via parallelForCtx in pruneBlock-sized blocks so cancellation
+// latency stays bounded by one block of model work, exactly as on the
+// scalar path. Returns false when ctx was cancelled mid-batch; costs are
+// then partial and the caller must abandon the enumeration.
+func (c *Context) predictEnum(ctx context.Context, m CostModel, e *Enumeration, st *Stats) bool {
+	n := len(e.Vectors)
+	if n == 0 {
+		return true
+	}
+	start := time.Now()
+	if c.memo == nil {
+		c.memo = make(map[string]float64)
+	}
+	// Memo pass (serial, so hit counts are deterministic for any Workers).
+	hits := 0
+	miss := make([]int, 0, n)
+	for i, v := range e.Vectors {
+		if cost, ok := c.memo[string(v.Assign)]; ok {
+			v.Cost = cost
+			hits++
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	ok := true
+	if len(miss) > 0 {
+		var X *vecops.Matrix
+		if len(miss) == n {
+			X = e.featureMatrix(c.Schema.Len())
+		} else {
+			X = vecops.NewMatrix(len(miss), c.Schema.Len())
+			for k, i := range miss {
+				copy(X.Row(k), e.Vectors[i].F)
+			}
+		}
+		out := make([]float64, len(miss))
+		bm := asBatch(m)
+		err := parallelForCtx(ctx, len(miss), c.Workers, pruneBlock, func(lo, hi int) {
+			sub := X.RowsView(lo, hi)
+			bm.PredictBatch(&sub, out[lo:hi])
+		})
+		if err != nil {
+			ok = false
+		} else {
+			for k, i := range miss {
+				v := e.Vectors[i]
+				v.Cost = out[k]
+				c.memo[string(v.Assign)] = out[k]
+			}
+		}
+	}
+	if st != nil {
+		st.Timings.Infer += time.Since(start)
+		if ok {
+			if len(miss) > 0 {
+				st.ModelBatches++
+				st.ModelRows += len(miss)
+			}
+			st.MemoHits += hits
+		}
+	}
+	return ok
+}

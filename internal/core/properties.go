@@ -82,22 +82,16 @@ type PropertyPruner struct {
 	Properties []Property
 }
 
-// Prune implements Pruner. Like BoundaryPruner it checks ctx between model
-// calls and returns early (without pruning) when cancelled.
+// Prune implements Pruner. It scores the enumeration through the same
+// batched helper as BoundaryPruner (so the two produce identical Stats on
+// identical inputs) and, like it, returns early without pruning when
+// cancelled.
 func (p PropertyPruner) Prune(ctx context.Context, c *Context, e *Enumeration, st *Stats) {
 	if len(e.Vectors) == 0 {
 		return
 	}
-	err := parallelForCtx(ctx, len(e.Vectors), c.Workers, pruneBlock, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e.Vectors[i].Cost = p.Model.Predict(e.Vectors[i].F)
-		}
-	})
-	if err != nil {
+	if !c.predictEnum(ctx, p.Model, e, st) {
 		return
-	}
-	if st != nil {
-		st.ModelCalls += len(e.Vectors)
 	}
 	if len(e.Vectors) == 1 {
 		return

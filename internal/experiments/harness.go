@@ -161,6 +161,14 @@ func (m latencyModel) Predict(f []float64) float64 {
 	return s
 }
 
+// PredictBatch scores each row with the same arithmetic as Predict, making
+// the latency experiments exercise the enumeration's batched inference path.
+func (m latencyModel) PredictBatch(X *mlmodel.Matrix, out []float64) {
+	for i := 0; i < X.Rows; i++ {
+		out[i] = m.Predict(X.Row(i))
+	}
+}
+
 // LatencyModel returns the fixed lightweight model used by the latency
 // experiments (Figures 1, 9 and 10). In the paper, invoking the ML model
 // took only ~10% of optimization time, so those experiments measure the

@@ -1,0 +1,214 @@
+package mlmodel
+
+import (
+	"math"
+
+	"repro/internal/vecops"
+)
+
+// Matrix is the flat row-major feature matrix of the batch inference path
+// (an alias of vecops.Matrix, so the core enumeration can hand its arena
+// matrices to models without importing this package).
+type Matrix = vecops.Matrix
+
+// BatchModel is a Model that can predict a whole feature matrix in one
+// call. PredictBatch fills out[i] with the prediction for row i of X and
+// must be arithmetically identical to calling Predict on each row — the
+// optimizer's determinism contract compares batched and scalar runs bit for
+// bit. len(out) must be at least X.Rows. Implementations must be safe for
+// concurrent PredictBatch calls (the enumeration chunks one matrix across
+// workers), so per-call scratch lives on the stack or is freshly allocated.
+//
+// Every model family in this package implements BatchModel natively; the
+// Batcher adapter lifts third-party scalar models.
+type BatchModel interface {
+	Model
+	PredictBatch(X *Matrix, out []float64)
+}
+
+// Batcher returns m as a BatchModel: natively batch-capable models are
+// returned unchanged, scalar models are wrapped with a per-row loop.
+func Batcher(m Model) BatchModel {
+	if bm, ok := m.(BatchModel); ok {
+		return bm
+	}
+	return scalarBatch{m}
+}
+
+// scalarBatch adapts a scalar Model to BatchModel row by row.
+type scalarBatch struct{ Model }
+
+func (b scalarBatch) PredictBatch(X *Matrix, out []float64) {
+	for i := 0; i < X.Rows; i++ {
+		out[i] = b.Predict(X.Row(i))
+	}
+}
+
+// PredictBatch walks all rows through the tree level-synchronously: each
+// round advances every still-internal row one level and compacts the active
+// set, so node metadata loaded once serves many rows and finished rows stop
+// costing anything. Identical comparisons to the scalar walk, hence
+// identical results.
+func (t *Tree) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	t.predictBatchInto(X, out, make([]int32, n), make([]int32, n))
+}
+
+// predictBatchInto is PredictBatch with caller-provided scratch (idx holds
+// the per-row current node, act the active row list; both of length X.Rows)
+// so tree ensembles reuse one scratch pair across all their trees.
+func (t *Tree) predictBatchInto(X *Matrix, out []float64, idx, act []int32) {
+	n := X.Rows
+	for i := 0; i < n; i++ {
+		idx[i] = 0
+		act[i] = int32(i)
+	}
+	live := n
+	for live > 0 {
+		w := 0
+		for k := 0; k < live; k++ {
+			r := act[k]
+			nd := &t.nodes[idx[r]]
+			if nd.feature < 0 {
+				out[r] = nd.value
+				continue
+			}
+			if X.Data[int(r)*X.Cols+int(nd.feature)] <= nd.threshold {
+				idx[r] = nd.left
+			} else {
+				idx[r] = nd.right
+			}
+			act[w] = r
+			w++
+		}
+		live = w
+	}
+}
+
+// PredictBatch accumulates the trees' batched estimates in tree order and
+// scales by 1/len(trees) — the same operations, in the same order, as the
+// scalar Predict, so results are bit-identical.
+func (f *Forest) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+	tmp := make([]float64, n)
+	idx := make([]int32, n)
+	act := make([]int32, n)
+	for _, t := range f.trees {
+		t.predictBatchInto(X, tmp, idx, act)
+		for i := 0; i < n; i++ {
+			out[i] += tmp[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		out[i] *= f.inv
+	}
+}
+
+// PredictBatch applies the boosting rounds in order, adding lr·tree(x) per
+// round exactly like the scalar Predict.
+func (g *GBM) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = g.base
+	}
+	tmp := make([]float64, n)
+	idx := make([]int32, n)
+	act := make([]int32, n)
+	for _, t := range g.trees {
+		t.predictBatchInto(X, tmp, idx, act)
+		for i := 0; i < n; i++ {
+			out[i] += g.lr * tmp[i]
+		}
+	}
+}
+
+// PredictBatch is one vecops dot product per row.
+func (l *Linear) PredictBatch(X *Matrix, out []float64) {
+	for i := 0; i < X.Rows; i++ {
+		out[i] = vecops.Dot(l.Weights, X.Row(i)) + l.Intercept
+	}
+}
+
+// PredictBatch evaluates the network hidden-unit-major: each hidden unit's
+// weight row is loaded once and applied to every row of X. The per-row
+// accumulation order over hidden units matches the scalar Predict, so
+// results are bit-identical.
+func (m *MLP) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+	for j, wj := range m.w1 {
+		w2j := m.w2[j]
+		b1j := m.b1[j]
+		for r := 0; r < n; r++ {
+			x := X.Row(r)
+			s := b1j
+			for i, w := range wj {
+				s += w * (x[i] - m.xMean[i]) / m.xStd[i]
+			}
+			out[r] += w2j * math.Tanh(s)
+		}
+	}
+	for r := 0; r < n; r++ {
+		out[r] = (out[r]+m.b2)*m.yStd + m.yMean
+	}
+}
+
+// PredictBatch averages the members' batched predictions in member order,
+// matching the scalar Predict's accumulation exactly.
+func (e Ensemble) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+	if len(e.Models) == 0 {
+		return
+	}
+	tmp := make([]float64, n)
+	for _, m := range e.Models {
+		Batcher(m).PredictBatch(X, tmp)
+		for i := 0; i < n; i++ {
+			out[i] += tmp[i]
+		}
+	}
+	div := float64(len(e.Models))
+	for i := 0; i < n; i++ {
+		out[i] /= div
+	}
+}
+
+// PredictBatch exponentiates the inner model's batched estimates with the
+// same expm1-and-clamp as the scalar Predict.
+func (m LogTarget) PredictBatch(X *Matrix, out []float64) {
+	n := X.Rows
+	if n == 0 {
+		return
+	}
+	Batcher(m.Inner).PredictBatch(X, out)
+	for i := 0; i < n; i++ {
+		y := math.Expm1(out[i])
+		if y < 0 {
+			y = 0
+		}
+		out[i] = y
+	}
+}

@@ -3,6 +3,8 @@ package mlmodel
 import (
 	"math"
 	"sort"
+
+	"repro/internal/vecops"
 )
 
 // Metrics summarizes regression quality on a held-out set. RankCorr matters
@@ -16,16 +18,18 @@ type Metrics struct {
 	N        int
 }
 
-// Evaluate scores model m on dataset d.
+// Evaluate scores model m on dataset d. Predictions run on the batch path:
+// the dataset rows are flattened into one Matrix and scored with a single
+// PredictBatch (scalar models go through the Batcher adapter).
 func Evaluate(m Model, d *Dataset) Metrics {
 	n := d.Len()
 	if n == 0 {
 		return Metrics{}
 	}
 	pred := make([]float64, n)
+	Batcher(m).PredictBatch(vecops.MatrixFromRows(d.X, d.NumFeatures()), pred)
 	var absSum, sqSum, yMean float64
-	for i, x := range d.X {
-		pred[i] = m.Predict(x)
+	for i := range pred {
 		e := pred[i] - d.Y[i]
 		absSum += math.Abs(e)
 		sqSum += e * e

@@ -237,6 +237,12 @@ type StageTimings struct {
 	Merge       time.Duration
 	Prune       time.Duration
 	Unvectorize time.Duration
+
+	// Infer is the wall-clock time spent inside batched model inference
+	// (memo lookups included). It is a sub-span, not a stage: inference
+	// runs inside the prune stage and the final plan selection, so Infer
+	// is excluded from Total() to keep the stages additive.
+	Infer time.Duration
 }
 
 // Add accumulates o into t.
@@ -246,9 +252,11 @@ func (t *StageTimings) Add(o StageTimings) {
 	t.Merge += o.Merge
 	t.Prune += o.Prune
 	t.Unvectorize += o.Unvectorize
+	t.Infer += o.Infer
 }
 
-// Total returns the sum over all stages.
+// Total returns the sum over all pipeline stages (Infer overlaps them and
+// is not added).
 func (t StageTimings) Total() time.Duration {
 	return t.Vectorize + t.Enumerate + t.Merge + t.Prune + t.Unvectorize
 }
@@ -262,5 +270,6 @@ func (t StageTimings) Milliseconds() map[string]float64 {
 		"merge":       ms(t.Merge),
 		"prune":       ms(t.Prune),
 		"unvectorize": ms(t.Unvectorize),
+		"infer":       ms(t.Infer),
 	}
 }

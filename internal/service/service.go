@@ -28,16 +28,24 @@
 //   - deadline_exceeded_total — requests cancelled by their deadline (503)
 //   - degraded_total — successful requests whose plan was budget-degraded
 //   - encode_failures_total — response JSON encoding failures (client gone)
+//   - model_batches_total — batched cost-oracle invocations across requests
+//   - model_rows_total — feature rows sent to the cost oracle across
+//     requests
+//   - memo_hits_total — predictions served from the per-run memo
 //
 // Histograms (each reported with count, sum, avg, p50/p90/p99 estimates and
 // cumulative power-of-two buckets):
 //
 //   - optimize_ms — end-to-end optimization latency per successful request
 //   - vectors_created — plan vectors materialized per request
-//   - model_calls — cost-oracle invocations per request
+//   - model_rows — feature rows sent to the cost oracle per request
+//   - model_batch_rows — average rows per model batch per request (the
+//     inference batch size)
 //   - stage_vectorize_ms, stage_enumerate_ms, stage_merge_ms,
 //     stage_prune_ms, stage_unvectorize_ms — per-stage span timings of the
 //     optimization pipeline
+//   - stage_infer_ms — model-inference latency per request (a sub-span of
+//     pruning and final plan selection)
 package service
 
 import (
@@ -147,7 +155,9 @@ type ConversionJSON struct {
 type StatsJSON struct {
 	VectorsCreated int `json:"vectorsCreated"`
 	Merges         int `json:"merges"`
-	ModelCalls     int `json:"modelCalls"`
+	ModelBatches   int `json:"modelBatches"`
+	ModelRows      int `json:"modelRows"`
+	MemoHits       int `json:"memoHits"`
 	Pruned         int `json:"pruned"`
 	PeakEnumSize   int `json:"peakEnumSize"`
 }
@@ -257,7 +267,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Stats: StatsJSON{
 			VectorsCreated: res.Stats.VectorsCreated,
 			Merges:         res.Stats.Merges,
-			ModelCalls:     res.Stats.ModelCalls,
+			ModelBatches:   res.Stats.ModelBatches,
+			ModelRows:      res.Stats.ModelRows,
+			MemoHits:       res.Stats.MemoHits,
 			Pruned:         res.Stats.Pruned,
 			PeakEnumSize:   res.Stats.PeakEnumSize,
 		},
@@ -312,7 +324,13 @@ func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	}
 	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
 	m.Histogram("vectors_created").Observe(float64(res.Stats.VectorsCreated))
-	m.Histogram("model_calls").Observe(float64(res.Stats.ModelCalls))
+	m.Histogram("model_rows").Observe(float64(res.Stats.ModelRows))
+	if res.Stats.ModelBatches > 0 {
+		m.Histogram("model_batch_rows").Observe(float64(res.Stats.ModelRows) / float64(res.Stats.ModelBatches))
+	}
+	m.Counter("model_batches_total").Add(int64(res.Stats.ModelBatches))
+	m.Counter("model_rows_total").Add(int64(res.Stats.ModelRows))
+	m.Counter("memo_hits_total").Add(int64(res.Stats.MemoHits))
 	for stage, ms := range res.Stats.Timings.Milliseconds() {
 		m.Histogram("stage_" + stage + "_ms").Observe(ms)
 	}

@@ -1,0 +1,39 @@
+package vecops
+
+import "testing"
+
+func TestMatrixRowLayout(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		if len(r) != 4 || cap(r) != 4 {
+			t.Fatalf("row %d: len=%d cap=%d, want 4/4", i, len(r), cap(r))
+		}
+		for j := range r {
+			r[j] = float64(i*10 + j)
+		}
+	}
+	if m.Data[5] != 11 {
+		t.Fatalf("Data[5] = %v, want 11 (row-major layout broken)", m.Data[5])
+	}
+	v := m.RowsView(1, 3)
+	if v.Rows != 2 || v.Cols != 4 {
+		t.Fatalf("view dims = %dx%d, want 2x4", v.Rows, v.Cols)
+	}
+	if &v.Data[0] != &m.Data[4] {
+		t.Fatal("RowsView does not share the backing array")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}}, 2)
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("Data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+	if got := m.Row(2)[1]; got != 6 {
+		t.Fatalf("Row(2)[1] = %v, want 6", got)
+	}
+}

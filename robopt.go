@@ -59,6 +59,16 @@ type (
 	Availability = platform.Availability
 	// Stats counts the enumeration work of one optimization.
 	Stats = core.Stats
+	// Model is a fitted runtime-prediction model scoring one feature
+	// vector per call.
+	Model = mlmodel.Model
+	// BatchModel is a Model that also scores a whole feature matrix in a
+	// single call. Models trained by Train satisfy it natively, and the
+	// enumeration detects it to run one batched inference per prune step
+	// instead of one model call per plan vector.
+	BatchModel = mlmodel.BatchModel
+	// Matrix is the flat row-major feature matrix BatchModel operates on.
+	Matrix = mlmodel.Matrix
 	// Budget bounds the work of one optimization run; exhausted budgets
 	// degrade the plan instead of failing (Result.Degraded).
 	Budget = core.Budget
@@ -271,8 +281,10 @@ func Train(opts TrainingOptions) (*Optimizer, error) {
 }
 
 // NewOptimizerWithModel wraps a pre-fitted model (any regression model
-// satisfying Predict([]float64) float64) as an optimizer.
-func NewOptimizerWithModel(model mlmodel.Model, platforms []Platform, avail *Availability) *Optimizer {
+// satisfying Predict([]float64) float64) as an optimizer. Models that also
+// implement BatchModel get batched inference inside the enumeration; plain
+// scalar models are adapted transparently.
+func NewOptimizerWithModel(model Model, platforms []Platform, avail *Availability) *Optimizer {
 	return &Optimizer{model: model, platforms: platforms, avail: avail}
 }
 
