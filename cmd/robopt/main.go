@@ -11,7 +11,10 @@
 //
 // Without -train, a model is trained on the fly from TDGen data (the paper's
 // zero-tuning workflow); with -train, the model is fitted on the given CSV
-// (as produced by the tdgen command).
+// (as produced by the tdgen command). -save-model writes a versioned model
+// artifact (schema width, platform set, holdout metrics, content hash) that
+// roboptd serves directly; -model accepts both artifacts and legacy bare
+// model files.
 package main
 
 import (
@@ -27,8 +30,10 @@ import (
 	"repro/internal/mlmodel"
 	"repro/internal/plan"
 	"repro/internal/platform"
+	"repro/internal/registry"
 	"repro/internal/simulator"
 	"repro/internal/tdgen"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -47,8 +52,17 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "abort the optimization after this long (0 = none); combine with -budget-* to degrade instead")
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
 		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
+		example   = flag.Bool("print-example-plan", false, "print the paper's running-example logical plan as JSON and exit")
 	)
 	flag.Parse()
+	if *example {
+		data, err := plan.MarshalJSONPlan(workload.RunningExample())
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
 	if *planPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -69,19 +83,38 @@ func main() {
 	avail := platform.DefaultAvailability().Restrict(plats)
 	h := experiments.NewHarness()
 
+	schema, err := core.NewSchema(plats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(plats))
+	for i, p := range plats {
+		names[i] = p.String()
+	}
+
+	// The model travels as a versioned artifact: loading accepts artifact
+	// files and legacy bare envelopes alike, and a loaded artifact is
+	// validated against the configured platform universe before it scores
+	// anything.
 	var model mlmodel.Model
+	trainRows := 0
+	var holdout mlmodel.Metrics
 	if *modelPath != "" {
 		mf, err := os.Open(*modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err = mlmodel.LoadModel(mf)
+		art, err := registry.ReadAny(mf)
 		if closeErr := mf.Close(); err == nil {
 			err = closeErr
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
+		if err := art.Validate(schema.Len(), len(plats)); err != nil {
+			log.Fatal(err)
+		}
+		model = art.Model
 	} else if *trainCSV != "" {
 		tf, err := os.Open(*trainCSV)
 		if err != nil {
@@ -94,11 +127,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		trainer := mlmodel.LogTargetTrainer{Inner: mlmodel.GBMTrainer{
-			Config: mlmodel.GBMConfig{Trees: 300, MaxDepth: 6, Seed: 7, Parallel: true},
-		}}
-		if model, err = trainer.Fit(ds); err != nil {
+		// Hold out a slice so the saved artifact records honest metrics.
+		train, hold := ds.Split(0.15, 7)
+		if model, err = experiments.TrainOnDataset(train, false, 7); err != nil {
 			log.Fatal(err)
+		}
+		trainRows = train.Len()
+		if hold.Len() > 0 {
+			holdout = mlmodel.Evaluate(model, hold)
+			fmt.Fprintf(os.Stderr, "robopt: trained on %d rows, holdout MAE %.4g (%d rows)\n",
+				train.Len(), holdout.MAE, hold.Len())
 		}
 	} else {
 		fmt.Fprintln(os.Stderr, "robopt: no -train or -model given; generating training data and fitting a model (one-time)")
@@ -107,18 +145,22 @@ func main() {
 		}
 	}
 	if *saveModel != "" {
+		art, err := registry.New(model, schema.Len(), names, trainRows, holdout)
+		if err != nil {
+			log.Fatal(err)
+		}
 		mf, err := os.Create(*saveModel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		err = mlmodel.SaveModel(mf, model)
+		err = art.Write(mf)
 		if closeErr := mf.Close(); err == nil {
 			err = closeErr
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "robopt: model saved to %s\n", *saveModel)
+		fmt.Fprintf(os.Stderr, "robopt: model artifact saved to %s (%s, width %d)\n", *saveModel, art.Family, art.FeatureWidth)
 	}
 
 	runCtx := context.Background()

@@ -7,9 +7,22 @@
 //	curl -XPOST -d @query.json 'localhost:8080/optimize?simulate=1'
 //
 // Without -model, a model is trained on startup (one-time, prints progress).
+//
+// # Model lifecycle
+//
+// The served model is a versioned artifact behind an atomically hot-swappable
+// provider. With -model-dir, artifacts are persisted to (and loadable from) a
+// file-backed store, and the admin endpoints GET /modelz, POST /modelz/reload
+// and POST /modelz/promote manage which version serves. Each
+// /optimize?simulate=1 response feeds its (plan vector, observed runtime)
+// pair into a bounded feedback buffer (-feedback-cap); with
+// -retrain-interval > 0, a background loop periodically retrains on that
+// feedback and promotes the candidate only when its holdout error does not
+// regress.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
 	"repro/internal/platform"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/simulator"
 )
@@ -30,48 +44,115 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("roboptd: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		modelPath = flag.String("model", "", "load a saved model (otherwise train on startup)")
-		nPlats    = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
-		quick     = flag.Bool("quick", false, "train a small model on startup (fast, less faithful)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
-		deadline  = flag.Duration("deadline", 30*time.Second, "default per-request optimization deadline (override per request with ?deadline_ms=)")
-		budgetVec = flag.Int("budget-vectors", 0, "degrade enumeration after this many plan vectors (0 = unlimited)")
-		budgetMC  = flag.Int("budget-model-calls", 0, "degrade enumeration after this many cost-oracle feature rows (0 = unlimited)")
-		maxBody   = flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "reject request bodies larger than this")
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelPath   = flag.String("model", "", "load a saved model artifact (otherwise use -model-dir's active version, or train on startup)")
+		modelDir    = flag.String("model-dir", "", "artifact store directory backing /modelz/reload and /modelz/promote")
+		nPlats      = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
+		quick       = flag.Bool("quick", false, "train a small model on startup (fast, less faithful)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request optimization deadline (override per request with ?deadline_ms=)")
+		budgetVec   = flag.Int("budget-vectors", 0, "degrade enumeration after this many plan vectors (0 = unlimited)")
+		budgetMC    = flag.Int("budget-model-calls", 0, "degrade enumeration after this many cost-oracle feature rows (0 = unlimited)")
+		maxBody     = flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "reject request bodies larger than this")
+		retrainIntv = flag.Duration("retrain-interval", 0, "retrain on execution feedback at this period (0 = disabled)")
+		feedbackCap = flag.Int("feedback-cap", registry.DefaultFeedbackCap, "execution-feedback buffer capacity")
 	)
 	flag.Parse()
 
 	plats := platform.Subset(*nPlats)
 	avail := platform.DefaultAvailability().Restrict(plats)
+	schema, err := core.NewSchema(plats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(plats))
+	for i, p := range plats {
+		names[i] = p.String()
+	}
 
-	var model mlmodel.Model
-	if *modelPath != "" {
+	var store *registry.Store
+	if *modelDir != "" {
+		if store, err = registry.OpenStore(*modelDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Resolve the boot artifact: an explicit -model file wins, then the
+	// store's active version, then training on startup.
+	var art *registry.Artifact
+	switch {
+	case *modelPath != "":
 		f, err := os.Open(*modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err = mlmodel.LoadModel(f)
+		art, err = registry.ReadAny(f)
 		if closeErr := f.Close(); err == nil {
 			err = closeErr
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("model loaded from %s", *modelPath)
-	} else {
-		fmt.Fprintln(os.Stderr, "roboptd: training a model on startup (pass -model to skip)")
+		log.Printf("model %s loaded from %s", art.Version, *modelPath)
+	case store != nil:
+		if art, err = store.LoadActive(); err != nil {
+			log.Fatal(err)
+		}
+		if art != nil {
+			log.Printf("model %s loaded from store %s", art.Version, *modelDir)
+		}
+	}
+	if art == nil {
+		fmt.Fprintln(os.Stderr, "roboptd: training a model on startup (pass -model or populate -model-dir to skip)")
 		h := experiments.NewHarness()
 		h.Quick = *quick
-		var err error
-		if model, err = h.Model(plats, avail); err != nil {
+		model, err := h.Model(plats, avail)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if art, err = registry.New(model, schema.Len(), names, 0, mlmodel.Metrics{}); err != nil {
 			log.Fatal(err)
 		}
 		log.Print("model trained")
 	}
+	// Fail fast on a model that cannot score this deployment's plan vectors:
+	// a width or platform-count mismatch would silently produce garbage
+	// assignments on every request.
+	if err := art.Validate(schema.Len(), len(plats)); err != nil {
+		log.Fatal(err)
+	}
+	// A boot artifact that is not yet a stored version (explicit file, legacy
+	// model, or freshly trained) is saved and activated, so /modelz lists it
+	// and a restart resumes from it.
+	if store != nil {
+		if _, ok := storeVersion(art.Version); !ok {
+			// Restarting with the same -model file must not pile up duplicate
+			// versions: an identical payload already in the store is reused.
+			if v := findByHash(store, art.Hash); v != "" {
+				art.Version = v
+				log.Printf("boot model already stored as %s", v)
+			} else {
+				v, err := store.Save(art)
+				if err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("boot model saved to store as %s", v)
+			}
+			if err := store.Activate(art.Version); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
+	provider, err := registry.NewProvider(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feedback := registry.NewFeedback(*feedbackCap)
 	srv := &service.Server{
-		Model:           model,
+		Provider:        provider,
+		ModelStore:      store,
+		Feedback:        feedback,
 		Platforms:       plats,
 		Avail:           avail,
 		Cluster:         simulator.Default(),
@@ -80,6 +161,27 @@ func main() {
 		Budget:          core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC},
 		MaxBodyBytes:    *maxBody,
 	}
+
+	if *retrainIntv > 0 {
+		quickTrain := *quick
+		retrainer := &registry.Retrainer{
+			Provider: provider,
+			Feedback: feedback,
+			Store:    store,
+			Train: func(ds *mlmodel.Dataset) (mlmodel.Model, error) {
+				return experiments.TrainOnDataset(ds, quickTrain, 7)
+			},
+			Interval:    *retrainIntv,
+			SchemaWidth: schema.Len(),
+			Platforms:   names,
+			Metrics:     srv.Metrics(),
+			Logf:        log.Printf,
+		}
+		srv.Retrainer = retrainer
+		go retrainer.Run(context.Background())
+		log.Printf("retraining every %v on up to %d feedback samples", *retrainIntv, feedback.Cap())
+	}
+
 	// The write timeout leaves headroom over the optimization deadline so a
 	// degraded-or-timed-out response can still be written; the read timeout
 	// bounds slow-loris plan uploads.
@@ -91,6 +193,39 @@ func main() {
 		WriteTimeout:      *deadline + 30*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz, GET /metricz; default deadline %v)", *addr, *deadline)
+	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /modelz; model %s; default deadline %v)",
+		*addr, art.Version, *deadline)
 	log.Fatal(hs.ListenAndServe())
+}
+
+// findByHash returns the stored version carrying the given content hash, or
+// "" when none does.
+func findByHash(store *registry.Store, hash string) string {
+	if hash == "" {
+		return ""
+	}
+	arts, err := store.List()
+	if err != nil {
+		return ""
+	}
+	for _, a := range arts {
+		if a.Hash == hash {
+			return a.Version
+		}
+	}
+	return ""
+}
+
+// storeVersion reports whether v is a store-style version name ("v<N>") —
+// i.e. whether the artifact already lives in an artifact store.
+func storeVersion(v string) (string, bool) {
+	if len(v) < 2 || v[0] != 'v' {
+		return "", false
+	}
+	for _, c := range v[1:] {
+		if c < '0' || c > '9' {
+			return "", false
+		}
+	}
+	return v, true
 }

@@ -7,6 +7,23 @@ import (
 	"repro/internal/vecops"
 )
 
+// ModelProvider resolves the cost model for one optimization run. It is the
+// indirection behind hot-swappable serving: callers read the active model
+// once per run instead of holding a model for their lifetime, so a model
+// registry can atomically publish a retrained model between runs without
+// synchronizing with in-flight enumerations. Implementations must be safe
+// for concurrent ActiveModel calls.
+type ModelProvider interface {
+	ActiveModel() CostModel
+}
+
+// OptimizeProvider is Optimize with the model resolved from mp when the run
+// starts: the returned plan is scored entirely by that one model snapshot,
+// even if the provider hot-swaps mid-run.
+func (c *Context) OptimizeProvider(ctx context.Context, mp ModelProvider) (*Result, error) {
+	return c.Optimize(ctx, mp.ActiveModel())
+}
+
 // BatchCostModel is a CostModel that can predict a whole feature matrix in
 // one call, filling out[i] for row i. mlmodel.BatchModel satisfies it
 // structurally (mlmodel.Matrix is an alias of vecops.Matrix), keeping core

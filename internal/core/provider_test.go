@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// swapProvider is a minimal hot-swappable ModelProvider for tests.
+type swapProvider struct {
+	p atomic.Pointer[core.CostModel]
+}
+
+func (s *swapProvider) set(m core.CostModel) { s.p.Store(&m) }
+
+func (s *swapProvider) ActiveModel() core.CostModel { return *s.p.Load() }
+
+// TestOptimizeProvider: resolving the model through a provider yields the
+// same plan and identical counters as passing the model directly, and a
+// swap between runs changes which model scores the next run.
+func TestOptimizeProvider(t *testing.T) {
+	l := workload.RunningExample()
+	ctx := newCtx(t, l, 3)
+	m1 := newAdditiveLinModel(ctx.Schema, 1)
+
+	direct, err := ctx.Optimize(context.Background(), m1)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	sp := &swapProvider{}
+	sp.set(m1)
+	viaProvider, err := ctx.OptimizeProvider(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("OptimizeProvider: %v", err)
+	}
+	if viaProvider.Predicted != direct.Predicted {
+		t.Errorf("provider run predicted %g, direct %g", viaProvider.Predicted, direct.Predicted)
+	}
+	if viaProvider.Stats.Counters() != direct.Stats.Counters() {
+		t.Errorf("provider run counters differ:\n%+v\n%+v",
+			viaProvider.Stats.Counters(), direct.Stats.Counters())
+	}
+
+	// Swap to a scaled model: same argmin, doubled prediction.
+	m2 := m1
+	m2.w = append([]float64(nil), m1.w...)
+	for i := range m2.w {
+		m2.w[i] *= 2
+	}
+	sp.set(m2)
+	scaled, err := ctx.OptimizeProvider(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("OptimizeProvider after swap: %v", err)
+	}
+	if want := 2 * direct.Predicted; scaled.Predicted != want {
+		t.Errorf("after swap predicted %g, want %g", scaled.Predicted, want)
+	}
+}

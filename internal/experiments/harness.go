@@ -63,8 +63,75 @@ func (h *Harness) SimplyTuned() *costmodel.Model {
 	return h.simply
 }
 
-// Model returns the random forest trained for the given platform universe
-// and availability, generating training data with TDGen on first use
+// GenerateTrainingData runs one TDGen draw for the given platform universe
+// and returns the labelled dataset (Section VII-A: pipeline/juncture/loop
+// shapes, max 50 operators, seeded with the evaluation workload's query
+// shapes). seedOffset varies the draw: independent offsets give the
+// independently generated member datasets the ensemble averages over. The
+// standalone entry point exists so other layers — the CLI's train-from-CSV
+// path, the serving stack's retraining loop — can obtain (or extend) the
+// exact dataset the harness trains on.
+func (h *Harness) GenerateTrainingData(plats []platform.ID, avail *platform.Availability, seedOffset int64) (*mlmodel.Dataset, error) {
+	cfg := tdgen.Config{
+		Shapes:            []tdgen.Shape{tdgen.ShapePipeline, tdgen.ShapeJuncture, tdgen.ShapeLoop},
+		MinOps:            4,
+		MaxOps:            50,
+		TemplatesPerShape: 24,
+		PlansPerTemplate:  14,
+		Profiles:          10,
+		Platforms:         plats,
+		Avail:             avail,
+		CardMax:           1e10,
+		Seed:              2020 + seedOffset,
+	}
+	// Generation option (i): seed TDGen with the evaluation workload's
+	// query shapes so generated plans resemble it (Section VI: "training
+	// data that resembles their query workload"). Sizes are drawn from
+	// each query's Table II range, not from the evaluation grid.
+	for _, q := range workload.Catalog() {
+		cfg.SeedQueries = append(cfg.SeedQueries, tdgen.SeedQuery{
+			Name:     q.Name,
+			MinBytes: q.MinBytes,
+			MaxBytes: q.MaxBytes,
+			Build:    q.Build,
+		})
+	}
+	if h.Quick {
+		cfg.TemplatesPerShape = 10
+		cfg.PlansPerTemplate = 8
+		cfg.Profiles = 8
+		cfg.MaxOps = 30
+	}
+	ds, _, err := tdgen.New(cfg, h.Cluster).Generate()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training data generation: %w", err)
+	}
+	return ds, nil
+}
+
+// TrainOnDataset fits one model member on an explicit dataset with the
+// harness's reference configuration: gradient-boosted trees on log targets
+// (see DESIGN.md; the paper's "one can plug any regression algorithm" is the
+// extension point used here). It is the training path shared by
+// Harness.Model, the CLI's train-from-CSV mode, and the serving stack's
+// execution-feedback retrainer — all three fit the same family the same way,
+// only the dataset differs.
+func TrainOnDataset(ds *mlmodel.Dataset, quick bool, seed int64) (mlmodel.Model, error) {
+	gbm := mlmodel.GBMConfig{Trees: 300, MaxDepth: 6, LR: 0.1, MinLeaf: 5, Seed: seed, Parallel: true}
+	if quick {
+		gbm.Trees = 150
+		gbm.MaxDepth = 5
+	}
+	trainer := mlmodel.LogTargetTrainer{Inner: mlmodel.GBMTrainer{Config: gbm}}
+	m, err := trainer.Fit(ds)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: model training: %w", err)
+	}
+	return m, nil
+}
+
+// Model returns the model trained for the given platform universe and
+// availability, generating training data with TDGen on first use
 // (Section VII-A: "we generated training data with TDGen by giving as input
 // three different topology shapes and a maximum number of operators equal
 // to 50").
@@ -81,44 +148,6 @@ func (h *Harness) Model(plats []platform.ID, avail *platform.Availability) (mlmo
 	}
 	h.mu.Unlock()
 
-	cfg := tdgen.Config{
-		Shapes:            []tdgen.Shape{tdgen.ShapePipeline, tdgen.ShapeJuncture, tdgen.ShapeLoop},
-		MinOps:            4,
-		MaxOps:            50,
-		TemplatesPerShape: 24,
-		PlansPerTemplate:  14,
-		Profiles:          10,
-		Platforms:         plats,
-		Avail:             avail,
-		CardMax:           1e10,
-		Seed:              2020,
-	}
-	// Generation option (i): seed TDGen with the evaluation workload's
-	// query shapes so generated plans resemble it (Section VI: "training
-	// data that resembles their query workload"). Sizes are drawn from
-	// each query's Table II range, not from the evaluation grid.
-	for _, q := range workload.Catalog() {
-		cfg.SeedQueries = append(cfg.SeedQueries, tdgen.SeedQuery{
-			Name:     q.Name,
-			MinBytes: q.MinBytes,
-			MaxBytes: q.MaxBytes,
-			Build:    q.Build,
-		})
-	}
-	// Gradient-boosted trees: the tree-ensemble family, fitted on
-	// residuals so platform-choice effects survive the dominant
-	// cardinality drivers (see DESIGN.md and the BenchmarkAblationModel
-	// comparison; the paper's statement "one can plug any regression
-	// algorithm" is the extension point used here).
-	gbm := mlmodel.GBMConfig{Trees: 300, MaxDepth: 6, LR: 0.1, MinLeaf: 5, Seed: 7, Parallel: true}
-	if h.Quick {
-		cfg.TemplatesPerShape = 10
-		cfg.PlansPerTemplate = 8
-		cfg.Profiles = 8
-		cfg.MaxOps = 30
-		gbm.Trees = 150
-		gbm.MaxDepth = 5
-	}
 	// Ensemble over independently generated training sets: TDGen's draws
 	// are a real source of run-to-run variance, and the optimizer's
 	// argmin over thousands of candidates amplifies single-model noise.
@@ -128,18 +157,13 @@ func (h *Harness) Model(plats []platform.ID, avail *platform.Availability) (mlmo
 	}
 	ensemble := mlmodel.Ensemble{}
 	for i := 0; i < members; i++ {
-		memberCfg := cfg
-		memberCfg.Seed = cfg.Seed + int64(i)*101
-		ds, _, err := tdgen.New(memberCfg, h.Cluster).Generate()
+		ds, err := h.GenerateTrainingData(plats, avail, int64(i)*101)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: training data generation: %w", err)
+			return nil, err
 		}
-		memberGBM := gbm
-		memberGBM.Seed = gbm.Seed + int64(i)*211
-		trainer := mlmodel.LogTargetTrainer{Inner: mlmodel.GBMTrainer{Config: memberGBM}}
-		m, err := trainer.Fit(ds)
+		m, err := TrainOnDataset(ds, h.Quick, 7+int64(i)*211)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: model training: %w", err)
+			return nil, err
 		}
 		ensemble.Models = append(ensemble.Models, m)
 	}

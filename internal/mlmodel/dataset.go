@@ -37,6 +37,32 @@ func (d *Dataset) Append(x []float64, y float64) {
 	d.Y = append(d.Y, y)
 }
 
+// Merge appends every row of other to d, composing datasets from different
+// sources (TDGen generations, execution-feedback logs). The feature widths
+// must agree when both datasets are non-empty. Rows are shared with other,
+// not copied.
+func (d *Dataset) Merge(other *Dataset) error {
+	if other == nil || other.Len() == 0 {
+		return nil
+	}
+	if d.Len() > 0 && d.NumFeatures() != other.NumFeatures() {
+		return fmt.Errorf("mlmodel: cannot merge datasets with %d and %d features",
+			d.NumFeatures(), other.NumFeatures())
+	}
+	d.X = append(d.X, other.X...)
+	d.Y = append(d.Y, other.Y...)
+	return nil
+}
+
+// Clone returns a deep copy of d's row and label slices (the feature rows
+// themselves are shared).
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{
+		X: append([][]float64(nil), d.X...),
+		Y: append([]float64(nil), d.Y...),
+	}
+}
+
 // Validate checks rectangularity and finiteness.
 func (d *Dataset) Validate() error {
 	if len(d.X) != len(d.Y) {

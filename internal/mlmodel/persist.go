@@ -7,9 +7,9 @@ import (
 )
 
 // Model serialization: a tagged JSON envelope so a trained model can be
-// saved once and reloaded by the CLI without retraining. Only the model
-// families used by the optimizer are supported (trees-based ensembles,
-// linear regression, and the log-target wrapper).
+// saved once and reloaded by the CLI without retraining. Every trainable
+// family round-trips: tree-based ensembles, linear regression, the MLP,
+// dataset-level ensembles, and the log-target wrapper.
 
 type modelEnvelope struct {
 	Type    string          `json:"type"`
@@ -87,8 +87,54 @@ type linearJSON struct {
 	Intercept float64   `json:"intercept"`
 }
 
+type mlpJSON struct {
+	W1    [][]float64 `json:"w1"`
+	B1    []float64   `json:"b1"`
+	W2    []float64   `json:"w2"`
+	B2    float64     `json:"b2"`
+	XMean []float64   `json:"xMean"`
+	XStd  []float64   `json:"xStd"`
+	YMean float64     `json:"yMean"`
+	YStd  float64     `json:"yStd"`
+}
+
+func mlpFromJSON(mj mlpJSON) (*MLP, error) {
+	h := len(mj.W1)
+	if h == 0 {
+		return nil, fmt.Errorf("mlmodel: MLP with no hidden units")
+	}
+	nf := len(mj.XMean)
+	if nf == 0 {
+		return nil, fmt.Errorf("mlmodel: MLP with no input features")
+	}
+	if len(mj.B1) != h || len(mj.W2) != h {
+		return nil, fmt.Errorf("mlmodel: inconsistent MLP hidden arrays (%d units, %d biases, %d output weights)",
+			h, len(mj.B1), len(mj.W2))
+	}
+	if len(mj.XStd) != nf {
+		return nil, fmt.Errorf("mlmodel: MLP has %d feature means but %d feature stds", nf, len(mj.XStd))
+	}
+	for j, wj := range mj.W1 {
+		if len(wj) != nf {
+			return nil, fmt.Errorf("mlmodel: MLP hidden unit %d has %d weights, want %d", j, len(wj), nf)
+		}
+	}
+	for i, s := range mj.XStd {
+		if s == 0 {
+			return nil, fmt.Errorf("mlmodel: MLP feature %d has zero std", i)
+		}
+	}
+	if mj.YStd == 0 {
+		return nil, fmt.Errorf("mlmodel: MLP has zero target std")
+	}
+	return &MLP{
+		w1: mj.W1, b1: mj.B1, w2: mj.W2, b2: mj.B2,
+		xMean: mj.XMean, xStd: mj.XStd, yMean: mj.YMean, yStd: mj.YStd,
+	}, nil
+}
+
 // SaveModel writes m to w as JSON. Supported: *GBM, *Forest, *Linear, *Tree,
-// and LogTarget wrapping any of them.
+// *MLP, Ensemble, and LogTarget wrapping any of them.
 func SaveModel(w io.Writer, m Model) error {
 	env, err := envelope(m)
 	if err != nil {
@@ -121,6 +167,11 @@ func envelope(m Model) (*modelEnvelope, error) {
 		return marshal("forest", fj)
 	case *Linear:
 		return marshal("linear", linearJSON{Weights: mm.Weights, Intercept: mm.Intercept})
+	case *MLP:
+		return marshal("mlp", mlpJSON{
+			W1: mm.w1, B1: mm.b1, W2: mm.w2, B2: mm.b2,
+			XMean: mm.xMean, XStd: mm.xStd, YMean: mm.yMean, YStd: mm.yStd,
+		})
 	case *Tree:
 		return marshal("tree", treeToJSON(mm))
 	case LogTarget:
@@ -189,6 +240,12 @@ func fromEnvelope(env *modelEnvelope) (Model, error) {
 			return nil, err
 		}
 		return &Linear{Weights: lj.Weights, Intercept: lj.Intercept}, nil
+	case "mlp":
+		var mj mlpJSON
+		if err := json.Unmarshal(env.Payload, &mj); err != nil {
+			return nil, err
+		}
+		return mlpFromJSON(mj)
 	case "tree":
 		var tj treeJSON
 		if err := json.Unmarshal(env.Payload, &tj); err != nil {

@@ -1,8 +1,8 @@
 // Package obs provides the lightweight observability primitives the
 // optimizer service exposes on /metricz: lock-free counters, fixed-bucket
-// histograms, a named registry with JSON-ready snapshots, and per-stage span
-// timings for the optimization pipeline (vectorize, enumerate, merge, prune,
-// unvectorize).
+// histograms, settable gauges, a named registry with JSON-ready snapshots,
+// and per-stage span timings for the optimization pipeline (vectorize,
+// enumerate, merge, prune, unvectorize).
 //
 // Everything is safe for concurrent use from request handlers and from the
 // enumeration worker goroutines; observation is a handful of atomic
@@ -35,6 +35,19 @@ func (c *Counter) Add(d int64) {
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value: buffer fill levels, the active
+// model's training-set size, last-event timestamps. Reads and writes are
+// single atomic operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // numBuckets is the fixed number of histogram buckets. Bucket i collects
 // values in (2^(i-1), 2^i]; bucket 0 collects everything ≤ 1 and the last
@@ -153,11 +166,16 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+		gauges:   map[string]*Gauge{},
+	}
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -198,10 +216,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
 // Snapshot is the JSON-ready state of a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
 }
 
 // Snapshot captures every registered metric. Names are sorted into the maps
@@ -223,6 +260,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, h := range r.hists {
 		s.Histograms[n] = h.Snapshot()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Load()
+		}
 	}
 	return s
 }

@@ -106,3 +106,19 @@ func TestStageTimings(t *testing.T) {
 		t.Fatalf("milliseconds map wrong: %v", ms)
 	}
 }
+
+func TestGauge(t *testing.T) {
+	r := obs.NewRegistry()
+	g := r.Gauge("feedback_buffer_len")
+	g.Set(42.5)
+	if got := g.Load(); got != 42.5 {
+		t.Fatalf("gauge = %g, want 42.5", got)
+	}
+	if r.Gauge("feedback_buffer_len") != g {
+		t.Fatal("Gauge lookup is not stable")
+	}
+	s := r.Snapshot()
+	if s.Gauges["feedback_buffer_len"] != 42.5 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+}

@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mlmodel"
+)
+
+// Feedback is the bounded buffer of execution outcomes the retraining loop
+// learns from: each sample is one (plan vector, observed runtime) pair
+// produced by actually running a chosen plan. The buffer is a ring — once
+// full, new samples overwrite the oldest, so the retrainer always sees the
+// most recent execution behaviour (exactly what matters when the cluster
+// drifts away from the training distribution).
+type Feedback struct {
+	mu    sync.Mutex
+	x     [][]float64
+	y     []float64
+	next  int   // ring write position
+	total int64 // samples ever added
+	cap   int
+}
+
+// DefaultFeedbackCap bounds the buffer when no capacity is given.
+const DefaultFeedbackCap = 4096
+
+// NewFeedback returns a feedback buffer holding at most cap samples
+// (DefaultFeedbackCap if cap <= 0).
+func NewFeedback(cap int) *Feedback {
+	if cap <= 0 {
+		cap = DefaultFeedbackCap
+	}
+	return &Feedback{cap: cap}
+}
+
+// Cap returns the buffer capacity.
+func (f *Feedback) Cap() int { return f.cap }
+
+// Add records one observed execution. The vector is copied, so callers may
+// reuse their slice. Width-inconsistent samples are rejected: they would
+// poison every later retraining.
+func (f *Feedback) Add(x []float64, y float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.x) > 0 && len(x) != len(f.x[0]) {
+		return fmt.Errorf("registry: feedback sample has %d features, buffer holds %d-feature rows",
+			len(x), len(f.x[0]))
+	}
+	row := append([]float64(nil), x...)
+	if len(f.x) < f.cap {
+		f.x = append(f.x, row)
+		f.y = append(f.y, y)
+	} else {
+		f.x[f.next] = row
+		f.y[f.next] = y
+		f.next = (f.next + 1) % f.cap
+	}
+	f.total++
+	return nil
+}
+
+// Len returns the number of samples currently buffered.
+func (f *Feedback) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.x)
+}
+
+// Total returns the number of samples ever added (including overwritten
+// ones) — the retrainer's freshness signal.
+func (f *Feedback) Total() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Dataset returns a point-in-time copy of the buffered samples as a
+// training dataset (rows are shared, the containers are copies).
+func (f *Feedback) Dataset() *mlmodel.Dataset {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &mlmodel.Dataset{
+		X: append([][]float64(nil), f.x...),
+		Y: append([]float64(nil), f.y...),
+	}
+}

@@ -1,0 +1,283 @@
+package registry_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mlmodel"
+	"repro/internal/registry"
+)
+
+// synth builds a deterministic dataset y = f(x) + noise over nf features.
+func synth(n, nf int, seed int64, f func([]float64) float64, noise float64) *mlmodel.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &mlmodel.Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]float64, nf)
+		for j := range x {
+			x[j] = rng.Float64() * 10
+		}
+		ds.Append(x, f(x)+noise*rng.NormFloat64())
+	}
+	return ds
+}
+
+func trainLinear(t *testing.T, ds *mlmodel.Dataset) mlmodel.Model {
+	t.Helper()
+	m, err := mlmodel.FitLinear(ds, mlmodel.LinearConfig{})
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	return m
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	ds := synth(100, 4, 1, func(x []float64) float64 { return 2*x[0] + x[3] }, 0.1)
+	m := trainLinear(t, ds)
+	art, err := registry.New(m, 4, []string{"java", "spark"}, ds.Len(), mlmodel.Evaluate(m, ds))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if art.Family != "linear" || art.FeatureWidth != 4 || !art.WidthExact {
+		t.Fatalf("artifact metadata wrong: %+v", art)
+	}
+	if art.Hash == "" {
+		t.Fatal("artifact has no content hash")
+	}
+
+	var buf bytes.Buffer
+	if err := art.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := registry.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.Hash != art.Hash || back.Family != art.Family || back.TrainingRows != 100 {
+		t.Fatalf("metadata did not round-trip: %+v", back)
+	}
+	for i := 0; i < 10; i++ {
+		if got, want := back.Model.Predict(ds.X[i]), m.Predict(ds.X[i]); got != want {
+			t.Fatalf("reloaded model disagrees at row %d: %g != %g", i, got, want)
+		}
+	}
+
+	// Corrupting the payload must be detected by the hash check.
+	tampered := strings.Replace(buf.String(), `"intercept":`, `"intercept":1e9,"x":`, 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper replacement did not apply")
+	}
+	if _, err := registry.Read(strings.NewReader(tampered)); err == nil {
+		t.Error("Read accepted a tampered payload")
+	}
+}
+
+func TestReadAnyLegacyModel(t *testing.T) {
+	ds := synth(80, 3, 2, func(x []float64) float64 { return x[1] }, 0)
+	m := trainLinear(t, ds)
+	var buf bytes.Buffer
+	if err := mlmodel.SaveModel(&buf, m); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	art, err := registry.ReadAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAny: %v", err)
+	}
+	if !strings.HasPrefix(art.Version, "legacy-") {
+		t.Errorf("legacy version = %q", art.Version)
+	}
+	if art.FeatureWidth != 3 || !art.WidthExact {
+		t.Errorf("legacy width = (%d, %v), want (3, true)", art.FeatureWidth, art.WidthExact)
+	}
+	// And an artifact file read through ReadAny still round-trips.
+	full, err := registry.New(m, 3, nil, ds.Len(), mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	buf.Reset()
+	if err := full.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if back, err := registry.ReadAny(bytes.NewReader(buf.Bytes())); err != nil || back.Hash != full.Hash {
+		t.Errorf("ReadAny(artifact) = %v, hash match %v", err, back != nil && back.Hash == full.Hash)
+	}
+}
+
+func TestArtifactValidate(t *testing.T) {
+	ds := synth(60, 5, 3, func(x []float64) float64 { return x[0] }, 0)
+	m := trainLinear(t, ds)
+	art, err := registry.New(m, 5, []string{"java", "spark", "flink"}, ds.Len(), mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := art.Validate(5, 3); err != nil {
+		t.Errorf("matching config rejected: %v", err)
+	}
+	if err := art.Validate(7, 3); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := art.Validate(5, 4); err == nil {
+		t.Error("platform count mismatch accepted")
+	}
+	// Declaring a schema width the model contradicts fails at wrap time.
+	if _, err := registry.New(m, 9, nil, 0, mlmodel.Metrics{}); err == nil {
+		t.Error("New accepted a contradictory schema width")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st, err := registry.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if a, err := st.LoadActive(); err != nil || a != nil {
+		t.Fatalf("empty store LoadActive = %v, %v", a, err)
+	}
+
+	ds := synth(60, 2, 4, func(x []float64) float64 { return x[0] + x[1] }, 0)
+	mkArt := func(seed int64) *registry.Artifact {
+		sub, _ := ds.Split(0.2, seed)
+		a, err := registry.New(trainLinear(t, sub), 2, []string{"java", "spark"}, sub.Len(), mlmodel.Metrics{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return a
+	}
+	a1, a2 := mkArt(1), mkArt(2)
+	v1, err := st.Save(a1)
+	if err != nil || v1 != "v1" {
+		t.Fatalf("Save #1 = %q, %v", v1, err)
+	}
+	v2, err := st.Save(a2)
+	if err != nil || v2 != "v2" {
+		t.Fatalf("Save #2 = %q, %v", v2, err)
+	}
+	if vs, err := st.Versions(); err != nil || fmt.Sprint(vs) != "[v1 v2]" {
+		t.Fatalf("Versions = %v, %v", vs, err)
+	}
+
+	// Without an ACTIVE marker, the newest version serves.
+	act, err := st.LoadActive()
+	if err != nil || act.Version != "v2" {
+		t.Fatalf("LoadActive = %+v, %v", act, err)
+	}
+	if err := st.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	act, err = st.LoadActive()
+	if err != nil || act.Version != "v1" {
+		t.Fatalf("LoadActive after Activate = %+v, %v", act, err)
+	}
+	if err := st.Activate("v9"); err == nil {
+		t.Error("Activate accepted a missing version")
+	}
+	if _, err := st.Load("nope"); err == nil {
+		t.Error("Load accepted a malformed version name")
+	}
+
+	// A copied-in artifact file is promotable under its filename version.
+	var buf bytes.Buffer
+	if err := mkArt(3).Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "v7.json"), buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if a, err := st.Load("v7"); err != nil || a.Version != "v7" {
+		t.Fatalf("Load(v7) = %+v, %v", a, err)
+	}
+	// The next Save lands after the copied-in version.
+	if v, err := st.Save(mkArt(4)); err != nil || v != "v8" {
+		t.Fatalf("Save after copy-in = %q, %v", v, err)
+	}
+	arts, err := st.List()
+	if err != nil || len(arts) != 4 {
+		t.Fatalf("List = %d artifacts, %v", len(arts), err)
+	}
+}
+
+func TestFeedbackRing(t *testing.T) {
+	f := registry.NewFeedback(3)
+	for i := 0; i < 5; i++ {
+		if err := f.Add([]float64{float64(i)}, float64(i)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if f.Len() != 3 || f.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", f.Len(), f.Total())
+	}
+	ds := f.Dataset()
+	seen := map[float64]bool{}
+	for _, y := range ds.Y {
+		seen[y] = true
+	}
+	// The ring keeps the 3 newest samples (2, 3, 4).
+	for _, want := range []float64{2, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("ring lost newest sample %g: %v", want, ds.Y)
+		}
+	}
+	if err := f.Add([]float64{1, 2}, 0); err == nil {
+		t.Error("Add accepted a width-inconsistent sample")
+	}
+}
+
+func TestFeedbackConcurrent(t *testing.T) {
+	f := registry.NewFeedback(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = f.Add([]float64{float64(g), float64(i)}, 1)
+				_ = f.Dataset()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Total() != 800 || f.Len() != 64 {
+		t.Fatalf("total=%d len=%d", f.Total(), f.Len())
+	}
+}
+
+func TestProviderSwap(t *testing.T) {
+	ds := synth(60, 2, 5, func(x []float64) float64 { return x[0] }, 0)
+	a1, err := registry.New(trainLinear(t, ds), 2, nil, ds.Len(), mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := registry.NewProvider(a1)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	if p.Get().Artifact != a1 || p.Swaps() != 0 {
+		t.Fatal("initial snapshot wrong")
+	}
+	a2, err := registry.New(trainLinear(t, ds), 2, nil, ds.Len(), mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	old, err := p.Swap(a2)
+	if err != nil || old.Artifact != a1 || p.Get().Artifact != a2 || p.Swaps() != 1 {
+		t.Fatalf("swap wrong: old=%v err=%v", old, err)
+	}
+	if _, err := p.Swap(&registry.Artifact{}); err == nil {
+		t.Error("Swap accepted an artifact without a model")
+	}
+	// ActiveModel satisfies core.ModelProvider and scores like the model.
+	if got, want := p.ActiveModel().Predict(ds.X[0]), a2.Model.Predict(ds.X[0]); got != want {
+		t.Errorf("ActiveModel predict = %g, want %g", got, want)
+	}
+	sp := registry.StaticProvider(trainLinear(t, ds), "test-model")
+	if sp.Get().Version() != "test-model" {
+		t.Errorf("static version = %q", sp.Get().Version())
+	}
+}

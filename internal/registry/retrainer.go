@@ -1,0 +1,207 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mlmodel"
+	"repro/internal/obs"
+)
+
+// Retrainer is the execution-feedback loop: it periodically fits a candidate
+// model on the buffered (plan vector, observed runtime) samples — optionally
+// mixed with a base TDGen dataset — evaluates both the candidate and the
+// active model on a held-out slice of the freshest feedback, and atomically
+// promotes the candidate only when its holdout error did not regress. This
+// is the paper's "re-train instead of re-calibrate" workflow running
+// unattended inside the serving process.
+type Retrainer struct {
+	Provider *Provider
+	Feedback *Feedback
+	// Store, when set, persists every promoted artifact and moves the
+	// ACTIVE marker so a restart resumes from the promoted model.
+	Store *Store
+	// Train fits a candidate on the assembled dataset (e.g. the
+	// experiments harness trainer with an explicit dataset).
+	Train func(*mlmodel.Dataset) (mlmodel.Model, error)
+	// Base is an optional generated dataset mixed into every retraining,
+	// anchoring the candidate where feedback is sparse. Nil retrains on
+	// feedback alone.
+	Base *mlmodel.Dataset
+	// Interval is the retraining period of Run (default 1 minute).
+	Interval time.Duration
+	// MinSamples is the fewest buffered feedback samples worth retraining
+	// on (default 64).
+	MinSamples int
+	// HoldoutFrac is the feedback fraction held out for the promotion gate
+	// (default 0.25).
+	HoldoutFrac float64
+	// Seed makes the holdout split deterministic.
+	Seed int64
+	// SchemaWidth and Platforms stamp promoted artifacts with deployment
+	// metadata.
+	SchemaWidth int
+	Platforms   []string
+	// Metrics, when set, receives retrain counters and durations.
+	Metrics *obs.Registry
+	// Logf, when set, receives one line per retraining attempt.
+	Logf func(format string, args ...any)
+
+	lastTotal int64
+}
+
+// Outcome reports one retraining attempt.
+type Outcome struct {
+	// Promoted is true when the candidate replaced the active model.
+	Promoted bool `json:"promoted"`
+	// Reason is "promoted", "holdout-regression", "insufficient-samples"
+	// or "no-new-samples".
+	Reason string `json:"reason"`
+	// Version is the store version of the promoted artifact ("" without a
+	// store or when not promoted).
+	Version string `json:"version,omitempty"`
+	// Candidate and Active are the holdout metrics behind the decision
+	// (zero when the attempt was skipped).
+	Candidate mlmodel.Metrics `json:"candidate"`
+	Active    mlmodel.Metrics `json:"active"`
+}
+
+func (r *Retrainer) minSamples() int {
+	if r.MinSamples > 0 {
+		return r.MinSamples
+	}
+	return 64
+}
+
+func (r *Retrainer) holdoutFrac() float64 {
+	if r.HoldoutFrac > 0 && r.HoldoutFrac < 1 {
+		return r.HoldoutFrac
+	}
+	return 0.25
+}
+
+func (r *Retrainer) interval() time.Duration {
+	if r.Interval > 0 {
+		return r.Interval
+	}
+	return time.Minute
+}
+
+func (r *Retrainer) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run retrains every Interval until ctx is cancelled. Errors are logged and
+// do not stop the loop.
+func (r *Retrainer) Run(ctx context.Context) {
+	t := time.NewTicker(r.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			out, err := r.RetrainOnce()
+			switch {
+			case err != nil:
+				r.logf("retrain failed: %v", err)
+			case out.Promoted:
+				r.logf("retrain promoted %s (holdout MAE %.4g vs active %.4g)",
+					out.Version, out.Candidate.MAE, out.Active.MAE)
+			case out.Reason == "holdout-regression":
+				r.logf("retrain rejected: holdout MAE %.4g regressed vs active %.4g",
+					out.Candidate.MAE, out.Active.MAE)
+			}
+		}
+	}
+}
+
+// RetrainOnce performs one retraining attempt: assemble data, fit a
+// candidate, gate on holdout error, and hot-swap on success. Safe to call
+// from tests and admin endpoints as well as from Run.
+func (r *Retrainer) RetrainOnce() (Outcome, error) {
+	if r.Provider == nil || r.Feedback == nil || r.Train == nil {
+		return Outcome{}, fmt.Errorf("registry: retrainer needs Provider, Feedback and Train")
+	}
+	m := r.metricsOrNop()
+	total := r.Feedback.Total()
+	m.Gauge("feedback_buffer_len").Set(float64(r.Feedback.Len()))
+	if total == r.lastTotal {
+		return Outcome{Reason: "no-new-samples"}, nil
+	}
+	fb := r.Feedback.Dataset()
+	if fb.Len() < r.minSamples() {
+		return Outcome{Reason: "insufficient-samples"}, nil
+	}
+	start := time.Now()
+	m.Counter("retrain_total").Inc()
+	// Split the feedback; the holdout slice judges both models on data
+	// neither trained on.
+	fbTrain, holdout := fb.Split(r.holdoutFrac(), r.Seed+total)
+	trainSet := fbTrain
+	if r.Base != nil && r.Base.Len() > 0 {
+		trainSet = r.Base.Clone()
+		if err := trainSet.Merge(fbTrain); err != nil {
+			return Outcome{}, fmt.Errorf("registry: feedback does not compose with the base dataset: %w", err)
+		}
+	}
+	cand, err := r.Train(trainSet)
+	if err != nil {
+		m.Counter("retrain_failures_total").Inc()
+		return Outcome{}, fmt.Errorf("registry: retraining: %w", err)
+	}
+	active := r.Provider.Get()
+	out := Outcome{
+		Candidate: mlmodel.Evaluate(cand, holdout),
+		Active:    mlmodel.Evaluate(active.Artifact.Model, holdout),
+	}
+	m.Histogram("retrain_ms").Observe(float64(time.Since(start).Microseconds()) / 1000)
+	r.lastTotal = total
+
+	// Promotion gate: the candidate must be no worse than the active model
+	// on held-out feedback. MAE is the primary criterion; ties promote (the
+	// candidate has seen fresher data).
+	if out.Candidate.MAE > out.Active.MAE {
+		m.Counter("retrain_rejected_total").Inc()
+		out.Reason = "holdout-regression"
+		return out, nil
+	}
+	art, err := New(cand, r.SchemaWidth, r.Platforms, trainSet.Len(), out.Candidate)
+	if err != nil {
+		m.Counter("retrain_failures_total").Inc()
+		return Outcome{}, err
+	}
+	if r.Store != nil {
+		v, err := r.Store.Save(art)
+		if err != nil {
+			m.Counter("retrain_failures_total").Inc()
+			return Outcome{}, err
+		}
+		if err := r.Store.Activate(v); err != nil {
+			m.Counter("retrain_failures_total").Inc()
+			return Outcome{}, err
+		}
+		out.Version = v
+	}
+	if _, err := r.Provider.Swap(art); err != nil {
+		return Outcome{}, err
+	}
+	m.Counter("retrain_promoted_total").Inc()
+	m.Counter("model_swaps_total").Inc()
+	m.Gauge("retrain_last_unix").Set(float64(time.Now().Unix()))
+	out.Promoted = true
+	out.Reason = "promoted"
+	return out, nil
+}
+
+// metricsOrNop returns the configured registry or a throwaway one, so the
+// hot path never branches on nil.
+func (r *Retrainer) metricsOrNop() *obs.Registry {
+	if r.Metrics != nil {
+		return r.Metrics
+	}
+	return obs.NewRegistry()
+}

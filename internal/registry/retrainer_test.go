@@ -1,0 +1,156 @@
+package registry_test
+
+import (
+	"testing"
+
+	"repro/internal/mlmodel"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// badLinear returns a serializable model with deliberately wrong
+// coefficients, so any model actually fit on the data beats it on holdout.
+func badLinear(nf int) mlmodel.Model {
+	return &mlmodel.Linear{Weights: make([]float64, nf), Intercept: 1e6}
+}
+
+func newRetrainer(t *testing.T, active mlmodel.Model, cap int) (*registry.Retrainer, *registry.Feedback, *registry.Provider) {
+	t.Helper()
+	art, err := registry.New(active, 3, []string{"java", "spark", "flink"}, 0, mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := registry.NewProvider(art)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	fb := registry.NewFeedback(cap)
+	r := &registry.Retrainer{
+		Provider:    p,
+		Feedback:    fb,
+		Train:       func(ds *mlmodel.Dataset) (mlmodel.Model, error) { return mlmodel.FitLinear(ds, mlmodel.LinearConfig{}) },
+		MinSamples:  32,
+		HoldoutFrac: 0.25,
+		Seed:        11,
+		SchemaWidth: 3,
+		Platforms:   []string{"java", "spark", "flink"},
+		Metrics:     obs.NewRegistry(),
+	}
+	return r, fb, p
+}
+
+func feed(t *testing.T, fb *registry.Feedback, n int, seed int64) {
+	t.Helper()
+	ds := synth(n, 3, seed, func(x []float64) float64 { return 4*x[0] - 2*x[1] + x[2] + 1 }, 0.05)
+	for i := 0; i < ds.Len(); i++ {
+		if err := fb.Add(ds.X[i], ds.Y[i]); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+}
+
+// TestRetrainerPromotes: with a hopeless active model and informative
+// feedback, one retraining promotes a candidate, hot-swaps the provider,
+// and persists+activates the artifact in the store.
+func TestRetrainerPromotes(t *testing.T) {
+	r, fb, p := newRetrainer(t, badLinear(3), 512)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	r.Store = st
+
+	// Below MinSamples: skipped.
+	feed(t, fb, 10, 21)
+	out, err := r.RetrainOnce()
+	if err != nil || out.Reason != "insufficient-samples" {
+		t.Fatalf("undersized buffer: %+v, %v", out, err)
+	}
+
+	feed(t, fb, 200, 22)
+	out, err = r.RetrainOnce()
+	if err != nil {
+		t.Fatalf("RetrainOnce: %v", err)
+	}
+	if !out.Promoted || out.Reason != "promoted" || out.Version != "v1" {
+		t.Fatalf("expected promotion to v1, got %+v", out)
+	}
+	if out.Candidate.MAE >= out.Active.MAE {
+		t.Fatalf("candidate should beat the hopeless active model: %+v", out)
+	}
+	if got := p.Get().Artifact.Version; got != "v1" {
+		t.Errorf("provider serves %q, want v1", got)
+	}
+	if v, err := st.ActiveVersion(); err != nil || v != "v1" {
+		t.Errorf("store active = %q, %v", v, err)
+	}
+	if p.Swaps() != 1 {
+		t.Errorf("swaps = %d, want 1", p.Swaps())
+	}
+	if got := r.Metrics.Counter("retrain_promoted_total").Load(); got != 1 {
+		t.Errorf("retrain_promoted_total = %d", got)
+	}
+
+	// No new samples since: skipped without touching the model.
+	out, err = r.RetrainOnce()
+	if err != nil || out.Reason != "no-new-samples" {
+		t.Fatalf("stale buffer: %+v, %v", out, err)
+	}
+	if p.Swaps() != 1 {
+		t.Errorf("skip still swapped: %d", p.Swaps())
+	}
+}
+
+// TestRetrainerRejectsRegression: when the candidate trainer is worse than
+// the active model, the gate holds and nothing is swapped or stored.
+func TestRetrainerRejectsRegression(t *testing.T) {
+	ds := synth(400, 3, 31, func(x []float64) float64 { return 4*x[0] - 2*x[1] + x[2] + 1 }, 0.05)
+	good, err := mlmodel.FitLinear(ds, mlmodel.LinearConfig{})
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	r, fb, p := newRetrainer(t, good, 512)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	r.Store = st
+	r.Train = func(*mlmodel.Dataset) (mlmodel.Model, error) { return badLinear(3), nil }
+
+	feed(t, fb, 200, 32)
+	out, err := r.RetrainOnce()
+	if err != nil {
+		t.Fatalf("RetrainOnce: %v", err)
+	}
+	if out.Promoted || out.Reason != "holdout-regression" {
+		t.Fatalf("bad candidate was not rejected: %+v", out)
+	}
+	if p.Swaps() != 0 {
+		t.Errorf("rejected retrain swapped the model")
+	}
+	if vs, _ := st.Versions(); len(vs) != 0 {
+		t.Errorf("rejected retrain stored an artifact: %v", vs)
+	}
+	if got := r.Metrics.Counter("retrain_rejected_total").Load(); got != 1 {
+		t.Errorf("retrain_rejected_total = %d", got)
+	}
+}
+
+// TestRetrainerBaseDataset: a base dataset is mixed into training and a
+// width mismatch between base and feedback is a hard error.
+func TestRetrainerBaseDataset(t *testing.T) {
+	r, fb, _ := newRetrainer(t, badLinear(3), 512)
+	r.Base = synth(100, 3, 41, func(x []float64) float64 { return 4*x[0] - 2*x[1] + x[2] + 1 }, 0.05)
+	feed(t, fb, 100, 42)
+	out, err := r.RetrainOnce()
+	if err != nil || !out.Promoted {
+		t.Fatalf("base-augmented retrain: %+v, %v", out, err)
+	}
+
+	r2, fb2, _ := newRetrainer(t, badLinear(3), 512)
+	r2.Base = synth(10, 5, 43, func(x []float64) float64 { return x[0] }, 0)
+	feed(t, fb2, 100, 44)
+	if _, err := r2.RetrainOnce(); err == nil {
+		t.Error("width-mismatched base dataset accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is a file-backed artifact store: one directory holding versioned
+// artifact files (v1.json, v2.json, ...) and an ACTIVE marker naming the
+// version a restarting server should load. Writes are atomic
+// (write-to-temp + rename), so a crash mid-save never corrupts a served
+// artifact, and the directory can be inspected or populated with plain
+// files (copying an artifact in as "v7.json" makes it promotable).
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// activeMarker is the file naming the active version inside a store dir.
+const activeMarker = "ACTIVE"
+
+// OpenStore opens (creating if needed) the artifact store at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// versionNum parses "v<N>" into N; ok is false for anything else.
+func versionNum(v string) (int, bool) {
+	if !strings.HasPrefix(v, "v") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v[1:])
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// versionsLocked lists the store's version names in ascending order.
+func (s *Store) versionsLocked() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing store: %w", err)
+	}
+	nums := make([]int, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if n, ok := versionNum(strings.TrimSuffix(name, ".json")); ok {
+			nums = append(nums, n)
+		}
+	}
+	sort.Ints(nums)
+	out := make([]string, len(nums))
+	for i, n := range nums {
+		out[i] = "v" + strconv.Itoa(n)
+	}
+	return out, nil
+}
+
+// Versions lists the stored version names in ascending order.
+func (s *Store) Versions() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versionsLocked()
+}
+
+// Save writes a as the next version and returns its name ("v<N>"). The
+// artifact's Version field is set on success. Save does not change the
+// active marker; pair it with Activate to promote.
+func (s *Store) Save(a *Artifact) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions, err := s.versionsLocked()
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	if len(versions) > 0 {
+		n, _ := versionNum(versions[len(versions)-1])
+		next = n + 1
+	}
+	version := "v" + strconv.Itoa(next)
+	a.Version = version
+	if err := s.writeFileLocked(version+".json", func(f *os.File) error { return a.Write(f) }); err != nil {
+		a.Version = ""
+		return "", err
+	}
+	return version, nil
+}
+
+// writeFileLocked atomically writes a file into the store dir.
+func (s *Store) writeFileLocked(name string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("registry: store write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: store sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: store close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("registry: store rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the artifact stored under version. The returned artifact's
+// Version is the requested name (authoritative over whatever the file
+// recorded, so copied-in files behave predictably).
+func (s *Store) Load(version string) (*Artifact, error) {
+	if _, ok := versionNum(version); !ok {
+		return nil, fmt.Errorf("registry: bad version name %q (want v<N>)", version)
+	}
+	f, err := os.Open(filepath.Join(s.dir, version+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: version %s: %w", version, err)
+	}
+	defer f.Close()
+	a, err := ReadAny(f)
+	if err != nil {
+		return nil, fmt.Errorf("registry: version %s: %w", version, err)
+	}
+	a.Version = version
+	return a, nil
+}
+
+// List loads every stored artifact's metadata in version order.
+func (s *Store) List() ([]*Artifact, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Artifact, 0, len(versions))
+	for _, v := range versions {
+		a, err := s.Load(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Activate marks version as the store's active artifact. The version must
+// exist.
+func (s *Store) Activate(version string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := versionNum(version); !ok {
+		return fmt.Errorf("registry: bad version name %q (want v<N>)", version)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, version+".json")); err != nil {
+		return fmt.Errorf("registry: cannot activate %s: %w", version, err)
+	}
+	return s.writeFileLocked(activeMarker, func(f *os.File) error {
+		_, err := f.WriteString(version + "\n")
+		return err
+	})
+}
+
+// ActiveVersion returns the version named by the ACTIVE marker, or "" when
+// none is set.
+func (s *Store) ActiveVersion() (string, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, activeMarker))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("registry: reading active marker: %w", err)
+	}
+	v := strings.TrimSpace(string(data))
+	if _, ok := versionNum(v); !ok {
+		return "", fmt.Errorf("registry: active marker names invalid version %q", v)
+	}
+	return v, nil
+}
+
+// LoadActive loads the active artifact: the ACTIVE marker's version if set,
+// otherwise the newest stored version. Returns (nil, nil) on an empty store.
+func (s *Store) LoadActive() (*Artifact, error) {
+	v, err := s.ActiveVersion()
+	if err != nil {
+		return nil, err
+	}
+	if v == "" {
+		versions, err := s.Versions()
+		if err != nil {
+			return nil, err
+		}
+		if len(versions) == 0 {
+			return nil, nil
+		}
+		v = versions[len(versions)-1]
+	}
+	return s.Load(v)
+}

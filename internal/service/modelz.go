@@ -1,0 +1,245 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// The /modelz endpoint family is the model lifecycle's admin surface:
+//
+//   - GET  /modelz          — active artifact metadata, swap count, feedback
+//     buffer state and store versions.
+//   - POST /modelz/reload   — re-read the store's active artifact and
+//     hot-swap it in if it differs from the served one.
+//   - POST /modelz/promote  — ?version=vN: mark a stored version active and
+//     hot-swap it in.
+//   - POST /modelz/retrain  — run one retraining attempt synchronously and
+//     report its outcome (the background loop's step, on demand).
+//   - GET  /modelz/feedback — the buffered execution-feedback samples as CSV.
+//
+// Admin mutations are serialized by a dedicated mutex so a reload cannot
+// interleave with a promote; /optimize never takes it — requests read the
+// provider's atomic pointer only.
+
+// ModelzResponse is the JSON reply of GET /modelz.
+type ModelzResponse struct {
+	// Active is the served artifact's metadata (its model is not included).
+	Active *registry.Artifact `json:"active"`
+	// Swaps counts hot-swaps since the provider was created.
+	Swaps int64 `json:"swaps"`
+	// Store reports the persisted versions when a model store is configured.
+	Store *ModelzStoreJSON `json:"store,omitempty"`
+	// Feedback reports the execution-feedback buffer when one is configured.
+	Feedback *ModelzFeedbackJSON `json:"feedback,omitempty"`
+	// Retrainer reports whether a background retraining loop is configured.
+	Retrainer bool `json:"retrainer"`
+}
+
+// ModelzStoreJSON summarizes the artifact store in GET /modelz.
+type ModelzStoreJSON struct {
+	Versions []string `json:"versions"`
+	Active   string   `json:"active,omitempty"`
+}
+
+// ModelzFeedbackJSON summarizes the feedback buffer in GET /modelz.
+type ModelzFeedbackJSON struct {
+	Len   int   `json:"len"`
+	Cap   int   `json:"cap"`
+	Total int64 `json:"total"`
+}
+
+// SwapResponse is the JSON reply of POST /modelz/reload and /modelz/promote.
+type SwapResponse struct {
+	Swapped  bool   `json:"swapped"`
+	Version  string `json:"version"`
+	Previous string `json:"previous,omitempty"`
+}
+
+// schemaWidth returns the plan-vector width of the server's platform
+// universe — the width every served model must match.
+func (s *Server) schemaWidth() (int, error) {
+	sc, err := core.NewSchema(s.Platforms)
+	if err != nil {
+		return 0, err
+	}
+	return sc.Len(), nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodGet {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /modelz"))
+		return
+	}
+	p := s.provider()
+	if p == nil {
+		s.fail(w, reqID, http.StatusServiceUnavailable, errors.New("service: no model configured"))
+		return
+	}
+	snap := p.Get()
+	resp := ModelzResponse{Active: snap.Artifact, Swaps: p.Swaps(), Retrainer: s.Retrainer != nil}
+	if s.ModelStore != nil {
+		versions, err := s.ModelStore.Versions()
+		if err != nil {
+			s.fail(w, reqID, http.StatusInternalServerError, err)
+			return
+		}
+		active, _ := s.ModelStore.ActiveVersion()
+		resp.Store = &ModelzStoreJSON{Versions: versions, Active: active}
+	}
+	if s.Feedback != nil {
+		resp.Feedback = &ModelzFeedbackJSON{
+			Len:   s.Feedback.Len(),
+			Cap:   s.Feedback.Cap(),
+			Total: s.Feedback.Total(),
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
+// swapIn validates art against the serving configuration and publishes it,
+// unless the provider already serves the identical payload.
+func (s *Server) swapIn(art *registry.Artifact) (SwapResponse, error) {
+	width, err := s.schemaWidth()
+	if err != nil {
+		return SwapResponse{}, err
+	}
+	if err := art.Validate(width, len(s.Platforms)); err != nil {
+		return SwapResponse{}, err
+	}
+	p := s.provider()
+	if p == nil {
+		return SwapResponse{}, errors.New("service: no model configured")
+	}
+	cur := p.Get()
+	if cur.Artifact.Hash != "" && cur.Artifact.Hash == art.Hash && cur.Version() == art.Version {
+		return SwapResponse{Swapped: false, Version: cur.Version()}, nil
+	}
+	old, err := p.Swap(art)
+	if err != nil {
+		return SwapResponse{}, err
+	}
+	s.Metrics().Counter("model_swaps_total").Inc()
+	return SwapResponse{Swapped: true, Version: art.Version, Previous: old.Version()}, nil
+}
+
+func (s *Server) handleModelzReload(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/reload"))
+		return
+	}
+	if s.ModelStore == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: no model store configured (-model-dir)"))
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	art, err := s.ModelStore.LoadActive()
+	if err != nil {
+		s.fail(w, reqID, http.StatusInternalServerError, err)
+		return
+	}
+	if art == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: model store holds no artifacts"))
+		return
+	}
+	resp, err := s.swapIn(art)
+	if err != nil {
+		s.fail(w, reqID, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleModelzPromote(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/promote?version=vN"))
+		return
+	}
+	if s.ModelStore == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: no model store configured (-model-dir)"))
+		return
+	}
+	version := r.URL.Query().Get("version")
+	if version == "" {
+		s.fail(w, reqID, http.StatusBadRequest, errors.New("service: promote needs ?version=vN"))
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	art, err := s.ModelStore.Load(version)
+	if err != nil {
+		s.fail(w, reqID, http.StatusNotFound, err)
+		return
+	}
+	resp, err := s.swapIn(art)
+	if err != nil {
+		s.fail(w, reqID, http.StatusConflict, err)
+		return
+	}
+	if resp.Swapped {
+		if err := s.ModelStore.Activate(version); err != nil {
+			s.fail(w, reqID, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleModelzRetrain(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/retrain"))
+		return
+	}
+	if s.Retrainer == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: no retrainer configured (-retrain-interval)"))
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	out, err := s.Retrainer.RetrainOnce()
+	if err != nil {
+		s.fail(w, reqID, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleModelzFeedback(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodGet {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /modelz/feedback"))
+		return
+	}
+	if s.Feedback == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: no feedback buffer configured"))
+		return
+	}
+	ds := s.Feedback.Dataset()
+	w.Header().Set("Content-Type", "text/csv")
+	for i := 0; i < ds.Len(); i++ {
+		for _, x := range ds.X[i] {
+			fmt.Fprintf(w, "%s,", strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		fmt.Fprintln(w, strconv.FormatFloat(ds.Y[i], 'g', -1, 64))
+	}
+}

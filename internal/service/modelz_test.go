@@ -1,0 +1,473 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mlmodel"
+	"repro/internal/platform"
+	"repro/internal/registry"
+	"repro/internal/service"
+	"repro/internal/simulator"
+)
+
+// testWidth is the plan-vector width of the 3-platform test universe.
+func testWidth(t *testing.T) int {
+	t.Helper()
+	sc, err := core.NewSchema(platform.Subset(3))
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return sc.Len()
+}
+
+// scaledLinear builds a serializable model predicting scale × sumModel:
+// weight i is scale·(i%5), so for any power-of-two scale the prediction is
+// exactly scale times the base model's (scaling by 2 only shifts exponents)
+// and the argmin plan is identical. That makes the model's identity
+// observable in every response: predicted/base == scale.
+func scaledLinear(width int, scale float64) *mlmodel.Linear {
+	ws := make([]float64, width)
+	for i := range ws {
+		ws[i] = scale * float64(i%5)
+	}
+	return &mlmodel.Linear{Weights: ws}
+}
+
+func platformNames(n int) []string {
+	var out []string
+	for _, p := range platform.Subset(n) {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+func newArtifact(t *testing.T, width int, scale float64) *registry.Artifact {
+	t.Helper()
+	a, err := registry.New(scaledLinear(width, scale), width, platformNames(3), 0, mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+// newLifecycleServer builds a server with the full lifecycle wired: a store
+// holding v1 (scale 1) and v2 (scale 2), a provider serving v1, and a
+// feedback buffer.
+func newLifecycleServer(t *testing.T) (*service.Server, *httptest.Server, *registry.Store) {
+	t.Helper()
+	width := testWidth(t)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	a1, a2 := newArtifact(t, width, 1), newArtifact(t, width, 2)
+	for _, a := range []*registry.Artifact{a1, a2} {
+		if _, err := st.Save(a); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := st.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	p, err := registry.NewProvider(a1)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	s := &service.Server{
+		Provider:   p,
+		ModelStore: st,
+		Feedback:   registry.NewFeedback(16),
+		Platforms:  platform.Subset(3),
+		Avail:      platform.UniformAvailability(3),
+		Cluster:    simulator.Default(),
+	}
+	return s, httptest.NewServer(s.Handler()), st
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d (%.200s)", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func postJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d (%.200s)", url, resp.StatusCode, wantStatus, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("POST %s: decode: %v (%.200s)", url, err, body)
+		}
+	}
+}
+
+// TestModelzLifecycle drives the admin surface end to end: inspect, promote,
+// reload, label optimize responses, and capture execution feedback.
+func TestModelzLifecycle(t *testing.T) {
+	_, ts, st := newLifecycleServer(t)
+	defer ts.Close()
+
+	var mz service.ModelzResponse
+	getJSON(t, ts.URL+"/modelz", &mz)
+	if mz.Active.Version != "v1" || mz.Swaps != 0 {
+		t.Fatalf("initial modelz = %+v", mz)
+	}
+	if mz.Store == nil || fmt.Sprint(mz.Store.Versions) != "[v1 v2]" || mz.Store.Active != "v1" {
+		t.Fatalf("store section = %+v", mz.Store)
+	}
+	if mz.Feedback == nil || mz.Feedback.Cap != 16 {
+		t.Fatalf("feedback section = %+v", mz.Feedback)
+	}
+	if mz.Retrainer {
+		t.Error("retrainer reported configured")
+	}
+
+	// The optimize response names the version that scored it, and
+	// simulate=1 lands one sample in the feedback buffer.
+	var base service.OptimizeResponse
+	resp, err := http.Post(ts.URL+"/optimize?simulate=1", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatalf("POST optimize: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&base); err != nil {
+		t.Fatalf("decode optimize: %v", err)
+	}
+	resp.Body.Close()
+	if base.ModelVersion != "v1" {
+		t.Fatalf("modelVersion = %q, want v1", base.ModelVersion)
+	}
+
+	// Promote v2: hot-swap plus ACTIVE move; the next response doubles its
+	// prediction (scale 2) and carries the new version.
+	var sw service.SwapResponse
+	postJSON(t, ts.URL+"/modelz/promote?version=v2", http.StatusOK, &sw)
+	if !sw.Swapped || sw.Version != "v2" || sw.Previous != "v1" {
+		t.Fatalf("promote = %+v", sw)
+	}
+	if v, _ := st.ActiveVersion(); v != "v2" {
+		t.Fatalf("store active = %q after promote", v)
+	}
+	var out2 service.OptimizeResponse
+	resp, err = http.Post(ts.URL+"/optimize?simulate=1", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatalf("POST optimize: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out2); err != nil {
+		t.Fatalf("decode optimize: %v", err)
+	}
+	resp.Body.Close()
+	if out2.ModelVersion != "v2" {
+		t.Fatalf("modelVersion = %q after promote, want v2", out2.ModelVersion)
+	}
+	if out2.PredictedRuntimeSec != 2*base.PredictedRuntimeSec {
+		t.Fatalf("predicted = %g, want exactly 2×%g", out2.PredictedRuntimeSec, base.PredictedRuntimeSec)
+	}
+
+	// Reload with the served version already active: a no-op.
+	postJSON(t, ts.URL+"/modelz/reload", http.StatusOK, &sw)
+	if sw.Swapped || sw.Version != "v2" {
+		t.Fatalf("idempotent reload = %+v", sw)
+	}
+	// Move ACTIVE behind the server's back; reload picks it up.
+	if err := st.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	postJSON(t, ts.URL+"/modelz/reload", http.StatusOK, &sw)
+	if !sw.Swapped || sw.Version != "v1" || sw.Previous != "v2" {
+		t.Fatalf("reload after external activate = %+v", sw)
+	}
+
+	// Feedback: two simulate requests captured, visible in /modelz and as
+	// CSV rows of width schema+1.
+	getJSON(t, ts.URL+"/modelz", &mz)
+	if mz.Feedback.Len != 2 || mz.Feedback.Total != 2 {
+		t.Fatalf("feedback after 2 simulate requests = %+v", mz.Feedback)
+	}
+	if mz.Swaps != 2 {
+		t.Errorf("swaps = %d, want 2", mz.Swaps)
+	}
+	fb, err := http.Get(ts.URL + "/modelz/feedback")
+	if err != nil {
+		t.Fatalf("GET feedback: %v", err)
+	}
+	defer fb.Body.Close()
+	data, _ := io.ReadAll(fb.Body)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("feedback CSV has %d rows, want 2", len(lines))
+	}
+	if cols := strings.Count(lines[0], ",") + 1; cols != testWidth(t)+1 {
+		t.Fatalf("feedback CSV row has %d columns, want %d", cols, testWidth(t)+1)
+	}
+
+	// Error paths: unknown version, missing version, wrong methods.
+	postJSON(t, ts.URL+"/modelz/promote?version=v9", http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/modelz/promote", http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/modelz/retrain", http.StatusConflict, nil)
+	postJSON(t, ts.URL+"/modelz", http.StatusMethodNotAllowed, nil)
+}
+
+// TestModelzValidatesOnSwap: promoting an artifact whose feature width does
+// not match the serving schema is refused, and the served model is untouched.
+func TestModelzValidatesOnSwap(t *testing.T) {
+	_, ts, st := newLifecycleServer(t)
+	defer ts.Close()
+	bad, err := registry.New(scaledLinear(7, 1), 7, []string{"java"}, 0, mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := st.Save(bad); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	postJSON(t, ts.URL+"/modelz/promote?version=v3", http.StatusConflict, nil)
+	var mz service.ModelzResponse
+	getJSON(t, ts.URL+"/modelz", &mz)
+	if mz.Active.Version != "v1" || mz.Swaps != 0 {
+		t.Fatalf("failed promote changed the served model: %+v", mz)
+	}
+}
+
+// TestModelVersionUnversioned: a legacy Model-field server still works and
+// labels responses "unversioned".
+func TestModelVersionUnversioned(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var out service.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.ModelVersion != "unversioned" {
+		t.Errorf("modelVersion = %q, want unversioned", out.ModelVersion)
+	}
+}
+
+// TestModelzRetrainEndpoint wires a retrainer whose trainer fits the
+// feedback exactly, feeds the buffer past MinSamples, and retrains through
+// the admin endpoint: the promoted artifact must be stored, activated and
+// served to the next optimize request.
+func TestModelzRetrainEndpoint(t *testing.T) {
+	width := testWidth(t)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	// Start from a deliberately terrible model so any fit beats it.
+	awful, err := registry.New(&mlmodel.Linear{Weights: make([]float64, width), Intercept: 1e6},
+		width, platformNames(3), 0, mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := registry.NewProvider(awful)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	fb := registry.NewFeedback(256)
+	s := &service.Server{
+		Provider:   p,
+		ModelStore: st,
+		Feedback:   fb,
+		Platforms:  platform.Subset(3),
+		Avail:      platform.UniformAvailability(3),
+		Cluster:    simulator.Default(),
+	}
+	s.Retrainer = &registry.Retrainer{
+		Provider:    p,
+		Feedback:    fb,
+		Store:       st,
+		Train:       func(ds *mlmodel.Dataset) (mlmodel.Model, error) { return mlmodel.FitLinear(ds, mlmodel.LinearConfig{}) },
+		MinSamples:  32,
+		Seed:        5,
+		SchemaWidth: width,
+		Platforms:   platformNames(3),
+		Metrics:     s.Metrics(),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Synthetic feedback: a linear law the trainer can recover exactly.
+	lin := scaledLinear(width, 1)
+	for i := 0; i < 64; i++ {
+		x := make([]float64, width)
+		for j := range x {
+			x[j] = float64((i*7+j*3)%11) / 11
+		}
+		if err := fb.Add(x, lin.Predict(x)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+
+	var out registry.Outcome
+	postJSON(t, ts.URL+"/modelz/retrain", http.StatusOK, &out)
+	if !out.Promoted || out.Version != "v1" {
+		t.Fatalf("retrain outcome = %+v", out)
+	}
+	if v, _ := st.ActiveVersion(); v != "v1" {
+		t.Fatalf("store active = %q after retrain", v)
+	}
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatalf("POST optimize: %v", err)
+	}
+	defer resp.Body.Close()
+	var opt service.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&opt); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if opt.ModelVersion != "v1" {
+		t.Errorf("optimize served %q after retrain, want v1", opt.ModelVersion)
+	}
+	// The promoted model is informative: nothing like the 1e6 intercept.
+	if opt.PredictedRuntimeSec > 1e5 {
+		t.Errorf("promoted model still predicts like the awful one: %g", opt.PredictedRuntimeSec)
+	}
+}
+
+// TestStressHotSwapUnderLoad is the torn-read check of the hot-swap path: 64
+// goroutines POST /optimize while a swapper flips the provider between a
+// scale-1 artifact (v1) and a scale-2 artifact (v2) as fast as it can. Both
+// models choose the same plan but predict exactly a factor 2 apart, so every
+// response must satisfy predicted == base·scale(version): any response whose
+// label does not match the model that scored it — or any torn read — fails.
+// Run with -race this also exercises the provider's atomic publication.
+func TestStressHotSwapUnderLoad(t *testing.T) {
+	width := testWidth(t)
+	a1, a2 := newArtifact(t, width, 1), newArtifact(t, width, 2)
+	a1.Version, a2.Version = "v1", "v2"
+	p, err := registry.NewProvider(a1)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	s := &service.Server{
+		Provider:  p,
+		Platforms: platform.Subset(3),
+		Avail:     platform.UniformAvailability(3),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	valid := planJSON(t)
+
+	// Baseline prediction under v1, before any concurrency.
+	var base service.OptimizeResponse
+	resp, err := client.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(valid))
+	if err != nil {
+		t.Fatalf("baseline POST: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&base); err != nil {
+		t.Fatalf("baseline decode: %v", err)
+	}
+	resp.Body.Close()
+	if base.ModelVersion != "v1" || base.PredictedRuntimeSec <= 0 {
+		t.Fatalf("baseline = %+v", base)
+	}
+
+	// Swapper: flip artifacts until the load is done.
+	done := make(chan struct{})
+	var swapperWG sync.WaitGroup
+	swapperWG.Add(1)
+	go func() {
+		defer swapperWG.Done()
+		arts := [2]*registry.Artifact{a2, a1}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := p.Swap(arts[i%2]); err != nil {
+				t.Errorf("Swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	const goroutines = 64
+	const perG = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	versionSeen := [3]int32{} // index 1 = v1, 2 = v2
+	var mu sync.Mutex
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := client.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(valid))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out service.OptimizeResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				var scale float64
+				switch out.ModelVersion {
+				case "v1":
+					scale = 1
+				case "v2":
+					scale = 2
+				default:
+					errs <- fmt.Errorf("unknown model version %q", out.ModelVersion)
+					continue
+				}
+				if out.PredictedRuntimeSec != scale*base.PredictedRuntimeSec {
+					errs <- fmt.Errorf("version %s predicted %g, want exactly %g — response labeled with a model that did not score it",
+						out.ModelVersion, out.PredictedRuntimeSec, scale*base.PredictedRuntimeSec)
+					continue
+				}
+				mu.Lock()
+				versionSeen[int(scale)]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	swapperWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if p.Swaps() < 2 {
+		t.Errorf("swapper only swapped %d times", p.Swaps())
+	}
+	t.Logf("responses: v1=%d v2=%d, swaps=%d", versionSeen[1], versionSeen[2], p.Swaps())
+	if versionSeen[1]+versionSeen[2] != goroutines*perG {
+		t.Errorf("accounted responses = %d, want %d", versionSeen[1]+versionSeen[2], goroutines*perG)
+	}
+}

@@ -13,6 +13,9 @@
 //   - GET /healthz — liveness probe.
 //   - GET /statz — cumulative request counters as JSON.
 //   - GET /metricz — full metrics snapshot (see below).
+//   - GET /modelz, POST /modelz/reload, POST /modelz/promote,
+//     POST /modelz/retrain, GET /modelz/feedback — the model lifecycle admin
+//     surface (see modelz.go).
 //
 // Every response carries an X-Request-Id header; errors are JSON bodies of
 // the form {"error": "...", "requestId": "..."}.
@@ -32,6 +35,16 @@
 //   - model_rows_total — feature rows sent to the cost oracle across
 //     requests
 //   - memo_hits_total — predictions served from the per-run memo
+//   - model_requests_<version> — optimize requests scored by each model
+//     version (the hot-swap audit trail)
+//   - model_swaps_total — models hot-swapped in via reload/promote/retrain
+//   - feedback_samples_total — execution-feedback samples captured from
+//     simulate=1 requests
+//   - feedback_rejected_total — feedback samples dropped (width mismatch)
+//
+// Servers with a configured Retrainer additionally expose the retrain_*
+// counters, the retrain_ms histogram and the feedback_buffer_len /
+// retrain_last_unix gauges documented in internal/registry.
 //
 // Histograms (each reported with count, sum, avg, p50/p90/p99 estimates and
 // cumulative power-of-two buckets):
@@ -64,15 +77,34 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/platform"
+	"repro/internal/registry"
 	"repro/internal/simulator"
 )
 
 // DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is unset.
 const DefaultMaxBodyBytes = 8 << 20
 
-// Server handles optimization requests with a fixed trained model.
+// Server handles optimization requests. The model is resolved per request
+// through a registry.Provider so a retrained or reloaded artifact can be
+// hot-swapped under live traffic; the legacy Model field still works for
+// embedded and test servers and is wrapped in a static provider on first use.
 type Server struct {
-	Model     mlmodel.Model
+	// Model is the fixed model of provider-less servers. Ignored when
+	// Provider is set.
+	Model mlmodel.Model
+	// Provider publishes the active model; each request resolves one
+	// immutable snapshot from it and reports that snapshot's version.
+	Provider *registry.Provider
+	// ModelStore, when set, backs POST /modelz/reload and
+	// POST /modelz/promote with persisted artifact versions.
+	ModelStore *registry.Store
+	// Feedback, when set, receives one (plan vector, observed runtime)
+	// sample per /optimize?simulate=1 request whose simulated run succeeded
+	// — the execution-feedback stream the retraining loop learns from.
+	Feedback *registry.Feedback
+	// Retrainer, when set, backs POST /modelz/retrain and is reported by
+	// GET /modelz.
+	Retrainer *registry.Retrainer
 	Platforms []platform.ID
 	Avail     *platform.Availability
 	// Cluster, when set, lets /optimize?simulate=1 report the simulated
@@ -96,6 +128,11 @@ type Server struct {
 	reqSeq  atomic.Int64
 	mOnce   sync.Once
 	metrics *obs.Registry
+	pOnce   sync.Once
+	staticP *registry.Provider
+	// adminMu serializes /modelz mutations (reload, promote, retrain); the
+	// /optimize path never takes it.
+	adminMu sync.Mutex
 
 	mu    sync.Mutex
 	stats struct {
@@ -115,11 +152,29 @@ func (s *Server) Metrics() *obs.Registry {
 	return s.metrics
 }
 
+// provider returns the model provider requests resolve snapshots from:
+// Provider when configured, otherwise Model wrapped in a static provider
+// once. Model must be set before the first request if Provider is nil.
+func (s *Server) provider() *registry.Provider {
+	if s.Provider != nil {
+		return s.Provider
+	}
+	s.pOnce.Do(func() {
+		if s.Model != nil {
+			s.staticP = registry.StaticProvider(s.Model, "")
+		}
+	})
+	return s.staticP
+}
+
 // OptimizeResponse is the JSON reply of POST /optimize.
 type OptimizeResponse struct {
 	// RequestID identifies the request in logs and metrics (also sent as
 	// the X-Request-Id header).
 	RequestID string `json:"requestId"`
+	// ModelVersion names the model artifact that scored this plan — under
+	// concurrent hot-swaps, exactly the snapshot this request resolved.
+	ModelVersion string `json:"modelVersion"`
 	// Assignments maps operator id (slice index) to platform name.
 	Assignments []string `json:"assignments"`
 	// Conversions lists the data movement operators of the plan.
@@ -178,6 +233,11 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/modelz", s.handleModelz)
+	mux.HandleFunc("/modelz/reload", s.handleModelzReload)
+	mux.HandleFunc("/modelz/promote", s.handleModelzPromote)
+	mux.HandleFunc("/modelz/retrain", s.handleModelzRetrain)
+	mux.HandleFunc("/modelz/feedback", s.handleModelzFeedback)
 	return mux
 }
 
@@ -245,7 +305,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	res, err := cctx.Optimize(ctx, s.Model)
+	// Resolve one immutable snapshot for the whole request: concurrent
+	// hot-swaps affect later requests, never this one, and the response's
+	// modelVersion is exactly the model that scored the plan.
+	p := s.provider()
+	if p == nil {
+		s.fail(w, reqID, http.StatusServiceUnavailable, errors.New("service: no model configured"))
+		return
+	}
+	snap := p.Get()
+	res, err := cctx.OptimizeProvider(ctx, snap)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.mu.Lock()
@@ -261,6 +330,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := OptimizeResponse{
 		RequestID:           reqID,
+		ModelVersion:        snap.Version(),
 		PredictedRuntimeSec: res.Predicted,
 		Degraded:            res.Degraded,
 		DegradeReason:       res.Stats.DegradeReason,
@@ -291,6 +361,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		run := s.Cluster.Run(res.Execution)
 		resp.SimulatedRuntimeSec = run.Runtime
 		resp.SimulatedLabel = run.Label()
+		// Execution feedback: the chosen plan's vector paired with its
+		// observed runtime feeds the retraining loop. Failed runs carry no
+		// usable runtime label and are skipped.
+		if s.Feedback != nil && res.Vector != nil && !run.Failed() {
+			if err := s.Feedback.Add(res.Vector.F, run.Runtime); err != nil {
+				s.Metrics().Counter("feedback_rejected_total").Inc()
+			} else {
+				s.Metrics().Counter("feedback_samples_total").Inc()
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -319,6 +399,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	m := s.Metrics()
 	m.Counter("requests_total").Inc()
+	m.Counter("model_requests_" + resp.ModelVersion).Inc()
 	if res.Degraded {
 		m.Counter("degraded_total").Inc()
 	}

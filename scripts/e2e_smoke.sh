@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end model lifecycle smoke test:
+#
+#   tdgen → robopt -train/-save-model → roboptd -model/-model-dir →
+#   POST /optimize → promote a copied-in artifact → POST /modelz/reload
+#
+# Asserts that the served plan is non-degraded, that every response is
+# labeled with the model version that scored it, and that promoting a new
+# artifact bumps the served version. Run from the repository root:
+#
+#   ./scripts/e2e_smoke.sh
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-18099}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say()  { echo "--- $*"; }
+die()  { echo "FAIL: $*" >&2; exit 1; }
+
+# jget FILE EXPR — evaluate a python expression over the parsed JSON as d.
+jget() { python3 -c "import json,sys; d=json.load(open('$1')); print($2)"; }
+
+say "building binaries"
+go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd
+
+say "generating training data (two draws, second appended)"
+"$WORK/tdgen" -templates 2 -plans 4 -profiles 4 -max-ops 12 -platforms 3 \
+  -o "$WORK/train.csv" 2>/dev/null
+"$WORK/tdgen" -templates 2 -plans 4 -profiles 4 -max-ops 12 -platforms 3 \
+  -seed 2021 -o "$WORK/train.csv" -append 2>/dev/null
+"$WORK/tdgen" -templates 2 -plans 4 -profiles 4 -max-ops 12 -platforms 3 \
+  -seed 2030 -o "$WORK/train2.csv" 2>/dev/null
+
+say "training two model artifacts"
+"$WORK/robopt" -print-example-plan > "$WORK/query.json"
+"$WORK/robopt" -plan "$WORK/query.json" -train "$WORK/train.csv" \
+  -save-model "$WORK/artifact.json" -platforms 3 -simulate=false >/dev/null
+"$WORK/robopt" -plan "$WORK/query.json" -train "$WORK/train2.csv" \
+  -save-model "$WORK/artifact2.json" -platforms 3 -simulate=false >/dev/null
+
+say "starting roboptd with the artifact store"
+"$WORK/roboptd" -addr "127.0.0.1:$PORT" -model "$WORK/artifact.json" \
+  -model-dir "$WORK/store" -platforms 3 -feedback-cap 128 \
+  > "$WORK/roboptd.log" 2>&1 &
+DAEMON_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { cat "$WORK/roboptd.log" >&2; die "daemon did not come up"; }
+  sleep 0.2
+done
+
+say "optimizing under the boot model (v1)"
+curl -sf -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize?simulate=1" > "$WORK/resp1.json"
+[ "$(jget "$WORK/resp1.json" "d['modelVersion']")" = "v1" ] \
+  || die "first response not scored by v1: $(cat "$WORK/resp1.json")"
+[ "$(jget "$WORK/resp1.json" "d.get('degraded', False)")" = "False" ] \
+  || die "plan was degraded"
+[ "$(jget "$WORK/resp1.json" "len(d['assignments']) > 0")" = "True" ] \
+  || die "no assignments in response"
+[ "$(jget "$WORK/resp1.json" "d['simulatedRuntimeSec'] > 0")" = "True" ] \
+  || die "simulate=1 produced no runtime"
+
+say "promoting a copied-in artifact as v2"
+cp "$WORK/artifact2.json" "$WORK/store/v2.json"
+curl -sf -XPOST "$BASE/modelz/promote?version=v2" > "$WORK/promote.json"
+[ "$(jget "$WORK/promote.json" "d['swapped']")" = "True" ] \
+  || die "promote did not swap: $(cat "$WORK/promote.json")"
+
+say "verifying the version bump on the next request"
+curl -sf -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize" > "$WORK/resp2.json"
+[ "$(jget "$WORK/resp2.json" "d['modelVersion']")" = "v2" ] \
+  || die "response after promote not scored by v2: $(cat "$WORK/resp2.json")"
+[ "$(jget "$WORK/resp2.json" "d.get('degraded', False)")" = "False" ] \
+  || die "plan degraded after promote"
+
+say "reload is idempotent once v2 is active"
+curl -sf -XPOST "$BASE/modelz/reload" > "$WORK/reload.json"
+[ "$(jget "$WORK/reload.json" "d['swapped']")" = "False" ] \
+  || die "reload re-swapped the active version: $(cat "$WORK/reload.json")"
+
+say "checking lifecycle metrics"
+curl -sf "$BASE/metricz" > "$WORK/metricz.json"
+[ "$(jget "$WORK/metricz.json" "d['counters']['model_swaps_total'] >= 1")" = "True" ] \
+  || die "model_swaps_total not incremented"
+[ "$(jget "$WORK/metricz.json" "d['counters']['feedback_samples_total'] >= 1")" = "True" ] \
+  || die "feedback_samples_total not incremented"
+[ "$(jget "$WORK/metricz.json" "d['counters'].get('model_requests_v1', 0) >= 1 and d['counters'].get('model_requests_v2', 0) >= 1")" = "True" ] \
+  || die "per-version request counters missing"
+
+say "checking /modelz store state"
+curl -sf "$BASE/modelz" > "$WORK/modelz.json"
+[ "$(jget "$WORK/modelz.json" "d['active']['version']")" = "v2" ] \
+  || die "/modelz does not report v2 active"
+[ "$(jget "$WORK/modelz.json" "d['store']['active']")" = "v2" ] \
+  || die "store ACTIVE marker not moved to v2"
+
+echo "PASS: model lifecycle smoke test"
