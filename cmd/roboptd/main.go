@@ -177,6 +177,10 @@ func main() {
 			Metrics:     srv.Metrics(),
 			Logf:        log.Printf,
 		}
+		// Background promotions take the same admin lock as /modelz
+		// mutations, so a retrain swap can never interleave with an
+		// operator's reload or promote.
+		retrainer.Gate = srv.AdminLocker()
 		srv.Retrainer = retrainer
 		go retrainer.Run(context.Background())
 		log.Printf("retraining every %v on up to %d feedback samples", *retrainIntv, feedback.Cap())

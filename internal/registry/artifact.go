@@ -188,7 +188,15 @@ func ReadAny(r io.Reader) (*Artifact, error) {
 		return nil, err
 	}
 	w, exact := mlmodel.FeatureWidth(m)
-	sum := sha256.Sum256(data)
+	// Hash the canonical re-serialized payload — the same bytes Write emits
+	// and Read verifies — never the raw file, whose formatting (SaveModel's
+	// trailing newline, whitespace) would make Store.Save followed by
+	// Store.Load fail the integrity check on every boot-saved legacy model.
+	raw, err := modelBytes(m)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(raw)
 	return &Artifact{
 		Version:      "legacy-" + hex.EncodeToString(sum[:4]),
 		Family:       mlmodel.FamilyName(m),

@@ -76,12 +76,32 @@ func (f *Feedback) Total() int64 {
 }
 
 // Dataset returns a point-in-time copy of the buffered samples as a
-// training dataset (rows are shared, the containers are copies).
+// training dataset, oldest first (rows are shared, the containers are
+// copies).
 func (f *Feedback) Dataset() *mlmodel.Dataset {
+	ds, _ := f.Snapshot()
+	return ds
+}
+
+// Snapshot returns a point-in-time copy of the buffered samples in
+// insertion order (oldest first) together with the sequence number of the
+// first returned row: row i carries sequence firstSeq+i, and sequences
+// count every Add since the buffer was created (Total - Len for the oldest
+// surviving row). The retrainer uses sequences to tell which rows the
+// active model could already have trained on.
+func (f *Feedback) Snapshot() (ds *mlmodel.Dataset, firstSeq int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return &mlmodel.Dataset{
-		X: append([][]float64(nil), f.x...),
-		Y: append([]float64(nil), f.y...),
+	n := len(f.x)
+	ds = &mlmodel.Dataset{X: make([][]float64, 0, n), Y: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		j := i
+		if n == f.cap {
+			// A full ring's oldest row sits at the write position.
+			j = (f.next + i) % f.cap
+		}
+		ds.X = append(ds.X, f.x[j])
+		ds.Y = append(ds.Y, f.y[j])
 	}
+	return ds, f.total - int64(n)
 }

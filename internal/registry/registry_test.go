@@ -109,6 +109,39 @@ func TestReadAnyLegacyModel(t *testing.T) {
 	}
 }
 
+// TestLegacyModelStoreRoundTrip guards the roboptd boot path with a legacy
+// bare-model file: ReadAny must hash the canonical payload (what Write emits
+// and Read verifies), not the raw file bytes — otherwise saving the boot
+// artifact into a store produces versions that fail the integrity check on
+// every later Load, breaking /modelz/reload and restarts.
+func TestLegacyModelStoreRoundTrip(t *testing.T) {
+	ds := synth(80, 3, 6, func(x []float64) float64 { return x[0] + 2*x[2] }, 0)
+	m := trainLinear(t, ds)
+	var buf bytes.Buffer
+	if err := mlmodel.SaveModel(&buf, m); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	art, err := registry.ReadAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAny: %v", err)
+	}
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	v, err := st.Save(art)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := st.Load(v)
+	if err != nil {
+		t.Fatalf("Load after saving a legacy model: %v", err)
+	}
+	if back.Hash != art.Hash {
+		t.Errorf("hash changed across the store round-trip: %q != %q", back.Hash, art.Hash)
+	}
+}
+
 func TestArtifactValidate(t *testing.T) {
 	ds := synth(60, 5, 3, func(x []float64) float64 { return x[0] }, 0)
 	m := trainLinear(t, ds)
@@ -223,6 +256,11 @@ func TestFeedbackRing(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("ring lost newest sample %g: %v", want, ds.Y)
 		}
+	}
+	// Snapshot returns them oldest-first with the right sequence base.
+	snap, firstSeq := f.Snapshot()
+	if firstSeq != 2 || fmt.Sprint(snap.Y) != "[2 3 4]" {
+		t.Fatalf("Snapshot = %v at seq %d, want [2 3 4] at 2", snap.Y, firstSeq)
 	}
 	if err := f.Add([]float64{1, 2}, 0); err == nil {
 		t.Error("Add accepted a width-inconsistent sample")

@@ -3,6 +3,7 @@ package registry
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/mlmodel"
@@ -47,16 +48,34 @@ type Retrainer struct {
 	Metrics *obs.Registry
 	// Logf, when set, receives one line per retraining attempt.
 	Logf func(format string, args ...any)
+	// Gate, when set, is locked by Run around each background attempt so
+	// unattended retrains serialize with an external admin mutex (the
+	// service's /modelz mutation lock) — a background promotion can then
+	// never interleave with an admin promote and leave the provider serving
+	// a different version than the store's ACTIVE marker records.
+	// RetrainOnce itself deliberately does not take it: admin handlers call
+	// RetrainOnce while already holding that lock.
+	Gate sync.Locker
 
+	// mu serializes retraining attempts end-to-end: concurrent callers (the
+	// Run loop and POST /modelz/retrain) must not train twice on the same
+	// data or interleave their Save/Activate/Swap sequences.
+	mu        sync.Mutex
 	lastTotal int64
+	// trainedUpTo is the feedback sequence number (Feedback.Total at
+	// promotion time) covered by the active model's training set. Samples at
+	// or beyond it are unseen by the incumbent and thus fair holdout
+	// material. Zero means the active model trained on no feedback at all
+	// (the boot model).
+	trainedUpTo int64
 }
 
 // Outcome reports one retraining attempt.
 type Outcome struct {
 	// Promoted is true when the candidate replaced the active model.
 	Promoted bool `json:"promoted"`
-	// Reason is "promoted", "holdout-regression", "insufficient-samples"
-	// or "no-new-samples".
+	// Reason is "promoted", "holdout-regression", "insufficient-samples",
+	// "insufficient-unseen-samples" or "no-new-samples".
 	Reason string `json:"reason"`
 	// Version is the store version of the promoted artifact ("" without a
 	// store or when not promoted).
@@ -104,7 +123,7 @@ func (r *Retrainer) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			out, err := r.RetrainOnce()
+			out, err := r.retrainGated()
 			switch {
 			case err != nil:
 				r.logf("retrain failed: %v", err)
@@ -119,32 +138,68 @@ func (r *Retrainer) Run(ctx context.Context) {
 	}
 }
 
+// retrainGated is Run's entry point: it takes the external Gate (when
+// configured) before retraining, so background attempts serialize with
+// admin-endpoint mutations that hold the same lock.
+func (r *Retrainer) retrainGated() (Outcome, error) {
+	if r.Gate != nil {
+		r.Gate.Lock()
+		defer r.Gate.Unlock()
+	}
+	return r.RetrainOnce()
+}
+
 // RetrainOnce performs one retraining attempt: assemble data, fit a
 // candidate, gate on holdout error, and hot-swap on success. Safe to call
-// from tests and admin endpoints as well as from Run.
+// concurrently from tests and admin endpoints as well as from Run; attempts
+// are serialized internally.
 func (r *Retrainer) RetrainOnce() (Outcome, error) {
 	if r.Provider == nil || r.Feedback == nil || r.Train == nil {
 		return Outcome{}, fmt.Errorf("registry: retrainer needs Provider, Feedback and Train")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := r.metricsOrNop()
-	total := r.Feedback.Total()
-	m.Gauge("feedback_buffer_len").Set(float64(r.Feedback.Len()))
+	fb, firstSeq := r.Feedback.Snapshot()
+	total := firstSeq + int64(fb.Len())
+	m.Gauge("feedback_buffer_len").Set(float64(fb.Len()))
 	if total == r.lastTotal {
 		return Outcome{Reason: "no-new-samples"}, nil
 	}
-	fb := r.Feedback.Dataset()
 	if fb.Len() < r.minSamples() {
 		return Outcome{Reason: "insufficient-samples"}, nil
 	}
+	// The holdout slice must judge both models on data neither trained on.
+	// Feedback rows persist in the ring across rounds, so a plain split
+	// would let the incumbent be scored on its own training data after one
+	// promotion, biasing the gate toward it. Instead, only rows the active
+	// model has never trained on (sequence >= trainedUpTo) are holdout
+	// material; older rows go straight into the candidate's training set.
+	seen := int(r.trainedUpTo - firstSeq)
+	if seen < 0 {
+		seen = 0
+	}
+	if seen > fb.Len() {
+		seen = fb.Len()
+	}
+	fbSeen := &mlmodel.Dataset{X: fb.X[:seen], Y: fb.Y[:seen]}
+	fbFresh := &mlmodel.Dataset{X: fb.X[seen:], Y: fb.Y[seen:]}
+	freshTrain, holdout := fbFresh.Split(r.holdoutFrac(), r.Seed+total)
+	if holdout.Len() == 0 {
+		return Outcome{Reason: "insufficient-unseen-samples"}, nil
+	}
 	start := time.Now()
 	m.Counter("retrain_total").Inc()
-	// Split the feedback; the holdout slice judges both models on data
-	// neither trained on.
-	fbTrain, holdout := fb.Split(r.holdoutFrac(), r.Seed+total)
-	trainSet := fbTrain
-	if r.Base != nil && r.Base.Len() > 0 {
-		trainSet = r.Base.Clone()
-		if err := trainSet.Merge(fbTrain); err != nil {
+	trainSet := freshTrain
+	if fbSeen.Len() > 0 || (r.Base != nil && r.Base.Len() > 0) {
+		trainSet = &mlmodel.Dataset{}
+		if r.Base != nil && r.Base.Len() > 0 {
+			trainSet = r.Base.Clone()
+		}
+		if err := trainSet.Merge(fbSeen); err != nil {
+			return Outcome{}, fmt.Errorf("registry: feedback does not compose with the base dataset: %w", err)
+		}
+		if err := trainSet.Merge(freshTrain); err != nil {
 			return Outcome{}, fmt.Errorf("registry: feedback does not compose with the base dataset: %w", err)
 		}
 	}
@@ -189,6 +244,11 @@ func (r *Retrainer) RetrainOnce() (Outcome, error) {
 	if _, err := r.Provider.Swap(art); err != nil {
 		return Outcome{}, err
 	}
+	// Advance the watermark to the whole snapshot, not just the training
+	// rows: holdout rows the candidate never saw are also retired from
+	// future holdouts, which costs a few rows of holdout material but keeps
+	// the "unseen by the incumbent" invariant a single sequence comparison.
+	r.trainedUpTo = total
 	m.Counter("retrain_promoted_total").Inc()
 	m.Counter("model_swaps_total").Inc()
 	m.Gauge("retrain_last_unix").Set(float64(time.Now().Unix()))

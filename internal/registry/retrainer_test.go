@@ -1,6 +1,8 @@
 package registry_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/mlmodel"
@@ -133,6 +135,95 @@ func TestRetrainerRejectsRegression(t *testing.T) {
 	}
 	if got := r.Metrics.Counter("retrain_rejected_total").Load(); got != 1 {
 		t.Errorf("retrain_rejected_total = %d", got)
+	}
+}
+
+// TestRetrainerHoldoutRecency: rows surviving in the ring after a promotion
+// are training provenance of the now-active model, so the next attempt must
+// judge on rows added since — with too few unseen samples it declines
+// rather than scoring the incumbent on data it trained on.
+func TestRetrainerHoldoutRecency(t *testing.T) {
+	r, fb, _ := newRetrainer(t, badLinear(3), 512)
+	feed(t, fb, 200, 61)
+	out, err := r.RetrainOnce()
+	if err != nil || !out.Promoted {
+		t.Fatalf("first retrain: %+v, %v", out, err)
+	}
+	// Two fresh samples: not enough to carve a holdout slice from.
+	feed(t, fb, 2, 62)
+	out, err = r.RetrainOnce()
+	if err != nil || out.Reason != "insufficient-unseen-samples" {
+		t.Fatalf("tiny unseen set was judged anyway: %+v, %v", out, err)
+	}
+	// Plenty of fresh samples: the gate runs again on unseen data only.
+	feed(t, fb, 100, 63)
+	out, err = r.RetrainOnce()
+	if err != nil {
+		t.Fatalf("RetrainOnce: %v", err)
+	}
+	if out.Reason != "promoted" && out.Reason != "holdout-regression" {
+		t.Fatalf("fresh samples were not judged: %+v", out)
+	}
+	if out.Candidate.MAE == 0 && out.Active.MAE == 0 {
+		t.Fatalf("holdout evaluation looks empty: %+v", out)
+	}
+}
+
+// TestRetrainerConcurrentRetrainOnce: RetrainOnce is reachable from both
+// the background Run loop and POST /modelz/retrain; concurrent calls must
+// not race on the retrainer's bookkeeping (run under -race) and each
+// promotion must store exactly one version, with the provider and the
+// ACTIVE marker agreeing once the dust settles.
+func TestRetrainerConcurrentRetrainOnce(t *testing.T) {
+	r, fb, p := newRetrainer(t, badLinear(3), 2048)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	r.Store = st
+	feed(t, fb, 200, 51)
+
+	var promoted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				// Half the goroutines keep feeding so later attempts see
+				// new samples instead of short-circuiting on no-new-samples.
+				if g%2 == 0 {
+					x := []float64{float64(g), float64(i), 1}
+					_ = fb.Add(x, 4*x[0]-2*x[1]+x[2]+1)
+				}
+				out, err := r.RetrainOnce()
+				if err != nil {
+					t.Errorf("RetrainOnce: %v", err)
+					return
+				}
+				if out.Promoted {
+					promoted.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if promoted.Load() == 0 {
+		t.Fatal("no attempt promoted")
+	}
+	vs, err := st.Versions()
+	if err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	if int64(len(vs)) != promoted.Load() {
+		t.Errorf("%d stored versions for %d promotions — overlapping attempts trained twice", len(vs), promoted.Load())
+	}
+	active, err := st.ActiveVersion()
+	if err != nil {
+		t.Fatalf("ActiveVersion: %v", err)
+	}
+	if got := p.Get().Version(); got != active {
+		t.Errorf("provider serves %q but the ACTIVE marker records %q", got, active)
 	}
 }
 

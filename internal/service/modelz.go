@@ -193,11 +193,13 @@ func (s *Server) handleModelzPromote(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, reqID, http.StatusConflict, err)
 		return
 	}
-	if resp.Swapped {
-		if err := s.ModelStore.Activate(version); err != nil {
-			s.fail(w, reqID, http.StatusInternalServerError, err)
-			return
-		}
+	// Activate even when the in-memory swap was a no-op: the server may
+	// already serve this version via LoadActive's newest-version fallback,
+	// and promoting it then must still pin the ACTIVE marker so the choice
+	// survives a restart.
+	if err := s.ModelStore.Activate(version); err != nil {
+		s.fail(w, reqID, http.StatusInternalServerError, err)
+		return
 	}
 	s.writeJSON(w, resp)
 }

@@ -253,6 +253,48 @@ func TestModelzValidatesOnSwap(t *testing.T) {
 	}
 }
 
+// TestModelzPromotePinsFallback: a server that booted from the newest
+// version via LoadActive's no-marker fallback must persist the ACTIVE
+// marker when an operator promotes that same version, even though the
+// in-memory swap is a no-op — otherwise the pin silently vanishes on the
+// next restart.
+func TestModelzPromotePinsFallback(t *testing.T) {
+	width := testWidth(t)
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if _, err := st.Save(newArtifact(t, width, 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// No Activate: boot resolves the newest version through the fallback.
+	art, err := st.LoadActive()
+	if err != nil || art == nil || art.Version != "v1" {
+		t.Fatalf("LoadActive = %+v, %v", art, err)
+	}
+	p, err := registry.NewProvider(art)
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	s := &service.Server{
+		Provider:   p,
+		ModelStore: st,
+		Platforms:  platform.Subset(3),
+		Avail:      platform.UniformAvailability(3),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var sw service.SwapResponse
+	postJSON(t, ts.URL+"/modelz/promote?version=v1", http.StatusOK, &sw)
+	if sw.Swapped || sw.Version != "v1" {
+		t.Fatalf("promoting the served version should be a no-op swap: %+v", sw)
+	}
+	if v, err := st.ActiveVersion(); err != nil || v != "v1" {
+		t.Errorf("ACTIVE marker not pinned by the no-op promote: %q, %v", v, err)
+	}
+}
+
 // TestModelVersionUnversioned: a legacy Model-field server still works and
 // labels responses "unversioned".
 func TestModelVersionUnversioned(t *testing.T) {

@@ -152,6 +152,13 @@ func (s *Server) Metrics() *obs.Registry {
 	return s.metrics
 }
 
+// AdminLocker exposes the /modelz mutation mutex so a background retraining
+// loop (registry.Retrainer.Gate) can serialize its promotions with admin
+// reloads and promotes — otherwise a background hot-swap could interleave
+// with an admin promote and leave the provider serving a different version
+// than the store's ACTIVE marker records.
+func (s *Server) AdminLocker() sync.Locker { return &s.adminMu }
+
 // provider returns the model provider requests resolve snapshots from:
 // Provider when configured, otherwise Model wrapped in a static provider
 // once. Model must be set before the first request if Provider is nil.
