@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/registry"
@@ -53,8 +55,18 @@ func main() {
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
 		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
 		example   = flag.Bool("print-example-plan", false, "print the paper's running-example logical plan as JSON and exit")
+		explain   = flag.String("explain", "", "trace the optimization and print an explanation report: text or json (multi mode only)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if *explain != "" && *explain != "text" && *explain != "json" {
+		log.Fatalf("-explain must be text or json, got %q", *explain)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat, "robopt")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *example {
 		data, err := plan.MarshalJSONPlan(workload.RunningExample())
 		if err != nil {
@@ -135,11 +147,10 @@ func main() {
 		trainRows = train.Len()
 		if hold.Len() > 0 {
 			holdout = mlmodel.Evaluate(model, hold)
-			fmt.Fprintf(os.Stderr, "robopt: trained on %d rows, holdout MAE %.4g (%d rows)\n",
-				train.Len(), holdout.MAE, hold.Len())
+			logger.Info("model trained", "rows", train.Len(), "holdoutMAE", holdout.MAE, "holdoutRows", hold.Len())
 		}
 	} else {
-		fmt.Fprintln(os.Stderr, "robopt: no -train or -model given; generating training data and fitting a model (one-time)")
+		logger.Info("no -train or -model given; generating training data and fitting a model (one-time)")
 		if model, err = h.Model(plats, avail); err != nil {
 			log.Fatal(err)
 		}
@@ -160,7 +171,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "robopt: model artifact saved to %s (%s, width %d)\n", *saveModel, art.Family, art.FeatureWidth)
+		logger.Info("model artifact saved", "path", *saveModel, "family", art.Family, "width", art.FeatureWidth)
 	}
 
 	runCtx := context.Background()
@@ -183,10 +194,16 @@ func main() {
 			// yields a plan when the enumeration is too large.
 			ctx.Budget.SoftDeadline = *deadline * 4 / 5
 		}
+		if *explain != "" {
+			// A one-shot trace turns on the run's pruning audit, the raw
+			// material of the explanation report.
+			ctx.Trace = obs.NewTrace("robopt")
+		}
 		res, err := ctx.Optimize(runCtx, model)
 		if err != nil {
 			log.Fatal(err)
 		}
+		ctx.Trace.End()
 		x = res.Execution
 		fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
 		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model rows in %d batches (%d memo hits), %d pruned\n",
@@ -203,7 +220,25 @@ func main() {
 				t.Merge.Round(time.Microsecond), t.Prune.Round(time.Microsecond),
 				t.Unvectorize.Round(time.Microsecond), t.Infer.Round(time.Microsecond))
 		}
+		if *explain != "" {
+			ex, err := res.Explain()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *explain == "json" {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(ex); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				fmt.Print(ex.String())
+			}
+		}
 	case "single":
+		if *explain != "" {
+			logger.Warn("-explain only applies to -mode multi; ignoring")
+		}
 		score, err := scoreFn(h, l, plats, avail, model)
 		if err != nil {
 			log.Fatal(err)

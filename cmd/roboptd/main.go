@@ -19,6 +19,15 @@
 // -retrain-interval > 0, a background loop periodically retrains on that
 // feedback and promotes the candidate only when its holdout error does not
 // regress.
+//
+// # Observability
+//
+// Each request records a span trace keyed by its request ID; notable traces
+// (slow, degraded, errored, or requested with ?trace=1) are always retained
+// for GET /tracez, unremarkable ones at the -trace-sample rate. /metricz
+// serves Prometheus text exposition with ?format=prometheus, -pprof mounts
+// net/http/pprof under /debug/pprof/, and -log-level/-log-format control the
+// structured (log/slog) request and retraining logs.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/registry"
 	"repro/internal/service"
@@ -56,8 +66,19 @@ func main() {
 		maxBody     = flag.Int64("max-body-bytes", service.DefaultMaxBodyBytes, "reject request bodies larger than this")
 		retrainIntv = flag.Duration("retrain-interval", 0, "retrain on execution feedback at this period (0 = disabled)")
 		feedbackCap = flag.Int("feedback-cap", registry.DefaultFeedbackCap, "execution-feedback buffer capacity")
+		traceSample = flag.Float64("trace-sample", 0.1, "probability of retaining an unremarkable request trace (slow/degraded/errored/?trace=1 requests are always retained)")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "how many recent traces GET /tracez retains")
+		traceSlow   = flag.Duration("trace-slow", time.Second, "always retain traces of requests at least this slow (0 = disabled)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat, "roboptd")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	plats := platform.Subset(*nPlats)
 	avail := platform.DefaultAvailability().Restrict(plats)
@@ -93,13 +114,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("model %s loaded from %s", art.Version, *modelPath)
+		logger.Info("model loaded", "version", art.Version, "path", *modelPath)
 	case store != nil:
 		if art, err = store.LoadActive(); err != nil {
 			log.Fatal(err)
 		}
 		if art != nil {
-			log.Printf("model %s loaded from store %s", art.Version, *modelDir)
+			logger.Info("model loaded", "version", art.Version, "store", *modelDir)
 		}
 	}
 	if art == nil {
@@ -113,7 +134,7 @@ func main() {
 		if art, err = registry.New(model, schema.Len(), names, 0, mlmodel.Metrics{}); err != nil {
 			log.Fatal(err)
 		}
-		log.Print("model trained")
+		logger.Info("model trained")
 	}
 	// Fail fast on a model that cannot score this deployment's plan vectors:
 	// a width or platform-count mismatch would silently produce garbage
@@ -130,13 +151,13 @@ func main() {
 			// versions: an identical payload already in the store is reused.
 			if v := findByHash(store, art.Hash); v != "" {
 				art.Version = v
-				log.Printf("boot model already stored as %s", v)
+				logger.Info("boot model already stored", "version", v)
 			} else {
 				v, err := store.Save(art)
 				if err != nil {
 					log.Fatal(err)
 				}
-				log.Printf("boot model saved to store as %s", v)
+				logger.Info("boot model saved to store", "version", v)
 			}
 			if err := store.Activate(art.Version); err != nil {
 				log.Fatal(err)
@@ -160,6 +181,9 @@ func main() {
 		DefaultDeadline: *deadline,
 		Budget:          core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC},
 		MaxBodyBytes:    *maxBody,
+		Tracer:          obs.NewTracer(*traceCap, *traceSample, *traceSlow),
+		Logger:          logger,
+		EnablePprof:     *pprofFlag,
 	}
 
 	if *retrainIntv > 0 {
@@ -175,7 +199,7 @@ func main() {
 			SchemaWidth: schema.Len(),
 			Platforms:   names,
 			Metrics:     srv.Metrics(),
-			Logf:        log.Printf,
+			Logger:      logger,
 		}
 		// Background promotions take the same admin lock as /modelz
 		// mutations, so a retrain swap can never interleave with an
@@ -183,7 +207,7 @@ func main() {
 		retrainer.Gate = srv.AdminLocker()
 		srv.Retrainer = retrainer
 		go retrainer.Run(context.Background())
-		log.Printf("retraining every %v on up to %d feedback samples", *retrainIntv, feedback.Cap())
+		logger.Info("retraining enabled", "interval", *retrainIntv, "feedbackCap", feedback.Cap())
 	}
 
 	// The write timeout leaves headroom over the optimization deadline so a
@@ -197,8 +221,13 @@ func main() {
 		WriteTimeout:      *deadline + 30*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serving on %s (POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /modelz; model %s; default deadline %v)",
-		*addr, art.Version, *deadline)
+	logger.Info("serving",
+		"addr", *addr,
+		"endpoints", "POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /tracez, GET /modelz",
+		"model", art.Version,
+		"deadline", *deadline,
+		"traceSample", *traceSample,
+		"pprof", *pprofFlag)
 	log.Fatal(hs.ListenAndServe())
 }
 

@@ -57,6 +57,10 @@ type Result struct {
 	// valid, executable plan). Mirrors Stats.Degraded.
 	Degraded bool
 	Stats    Stats
+	// Trace is the run's span tree and pruning audit trail, recorded only
+	// when Context.Trace was set; Explain derives the explainability
+	// report from it. Nil on untraced runs.
+	Trace *RunTrace
 }
 
 // Optimize runs the full Robopt pipeline: priority-based enumeration with
@@ -74,30 +78,46 @@ func (c *Context) Optimize(ctx context.Context, m CostModel) (*Result, error) {
 }
 
 // OptimizeOpts runs Algorithm 1 with an explicit pruner and traversal order,
-// under the same cancellation and budget contract as Optimize.
+// under the same cancellation and budget contract as Optimize. When
+// Context.Trace is set, the run additionally records a span tree and pruning
+// audit trail, returned on Result.Trace.
 func (c *Context) OptimizeOpts(ctx context.Context, m CostModel, pr Pruner, order OrderPolicy) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	var st Stats
+	c.beginRunTrace()
 	final, err := c.EnumerateFull(ctx, pr, order, &st)
 	if err != nil {
+		c.endRunTrace(&st, err)
 		return nil, err
 	}
 	best := c.GetOptimal(ctx, final, m, &st)
 	if err := ctx.Err(); err != nil {
+		c.endRunTrace(&st, err)
 		return nil, err
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: enumeration produced no plan vectors")
-	}
-	start := time.Now()
-	x, err := c.Unvectorize(best)
-	if err != nil {
+		err := fmt.Errorf("core: enumeration produced no plan vectors")
+		c.endRunTrace(&st, err)
 		return nil, err
 	}
+	if c.rt != nil {
+		c.rt.finishSelection(final, best)
+		c.rt.recordContributions(c, m, best)
+		c.root.SetFloat("predicted", best.Cost)
+	}
+	start := time.Now()
+	uspan := c.span(c.root, "unvectorize")
+	x, err := c.Unvectorize(best)
+	uspan.End()
 	st.Timings.Unvectorize += time.Since(start)
-	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Degraded: st.Degraded, Stats: st}, nil
+	if err != nil {
+		c.endRunTrace(&st, err)
+		return nil, err
+	}
+	rt := c.endRunTrace(&st, nil)
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Degraded: st.Degraded, Stats: st, Trace: rt}, nil
 }
 
 // OptimizeExhaustive enumerates the complete search space Ω_p without
@@ -207,9 +227,15 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 		return nil, fmt.Errorf("core: empty plan")
 	}
 	// Lines 2-5: split into singletons, enumerate each, set priorities.
-	singles := c.Split(c.Vectorize())
+	vspan := c.span(c.root, "vectorize")
+	abstract := c.Vectorize()
+	vspan.End()
+	sspan := c.span(c.root, "split")
+	singles := c.Split(abstract)
+	sspan.SetInt("singletons", int64(len(singles))).End()
 	st.Timings.Vectorize += time.Since(start)
 	enumStart := time.Now()
+	espan := c.span(c.root, "enumerate")
 	owner := make([]*enumNode, n)
 	h := make(nodeHeap, 0, len(singles))
 	seq := 0
@@ -224,11 +250,13 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 		c.setPriority(node, owner, order)
 	}
 	heap.Init(&h)
+	espan.SetInt("vectors", int64(st.VectorsCreated)).End()
 	st.Timings.Enumerate += time.Since(enumStart)
 
 	budget := c.Budget
 	degraded := false
 	deferred := 0
+	step := 0
 	// Lines 6-17: concatenate by priority until one enumeration remains.
 	for len(h) > 1 {
 		if err := ctx.Err(); err != nil {
@@ -253,6 +281,7 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			wasDegraded := degraded
 			if !degraded {
 				// The projected concatenation size trips the budget
 				// before the cartesian product is materialized, so a
@@ -271,6 +300,14 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 			pairs := Iterate(cur, child.e)
 			info := c.MergeInfo(cur, child.e)
 			merged := c.arenaEnum(cur.Scope.Union(child.e.Scope), len(pairs))
+			mspan := c.span(c.root, "merge")
+			mspan.SetInt("step", int64(step)).SetInt("left", int64(len(cur.Vectors))).
+				SetInt("right", int64(len(child.e.Vectors))).SetInt("pairs", int64(len(pairs)))
+			if degraded && !wasDegraded {
+				// The budget tripped on this very concatenation: the audit
+				// trail marks where the run left the lossless regime.
+				mspan.SetStr("budgetExhausted", st.DegradeReason)
+			}
 			mergeStart := time.Now()
 			// Merge is a pure function of its two inputs, so the
 			// cartesian product fans out across workers writing into
@@ -282,6 +319,7 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 				}
 			})
 			st.Timings.Merge += time.Since(mergeStart)
+			mspan.End()
 			if err != nil {
 				return nil, err
 			}
@@ -289,9 +327,25 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 			st.VectorsCreated += len(pairs)
 			merged.Boundary = c.boundaryOf(merged.Scope)
 			st.observe(len(merged.Vectors))
+			pspan := c.span(c.root, "prune")
+			if c.rt != nil {
+				c.curRec = c.rt.beginPrune(step, merged)
+				c.curRec.Degraded = degraded
+				c.curSpan = pspan
+			}
 			pruneStart := time.Now()
 			pr.Prune(ctx, c, merged, st)
 			st.Timings.Prune += time.Since(pruneStart)
+			if c.rt != nil {
+				rec := c.curRec
+				c.rt.endPrune(rec, merged, degraded)
+				pspan.SetInt("step", int64(step)).SetInt("vectors_in", int64(rec.VectorsIn)).
+					SetInt("vectors_out", int64(rec.VectorsOut)).SetInt("model_rows", int64(rec.ModelRows)).
+					SetInt("memo_hits", int64(rec.MemoHits))
+				c.curRec, c.curSpan = nil, nil
+			}
+			pspan.End()
+			step++
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -172,7 +172,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 			for _, v := range merged.Vectors {
 				v.Cost = model.Predict(v.F)
 			}
-			dedupFootprint(merged, nil)
+			dedupFootprint(merged, nil, nil)
 		}
 	})
 	b.Run("PredictBatch", func(b *testing.B) {

@@ -90,6 +90,15 @@ type Context struct {
 	// degrades gracefully instead of erroring: see Budget.
 	Budget Budget
 
+	// Trace, when set, makes Optimize/OptimizeOpts record a span tree (one
+	// span per algebra operation: vectorize, split, enumerate, merge,
+	// prune, infer, unvectorize) plus a typed pruning audit trail into the
+	// trace, attached to Result.Trace and consumable via Result.Explain.
+	// When nil — the default — the instrumented paths reduce to one nil
+	// check each, so untraced runs stay at full speed. Like the other
+	// per-run fields it must not be swapped mid-run.
+	Trace *obs.Trace
+
 	alternatives [][]uint8     // per op: schema platform columns available
 	edges        []plan.Edge   // all dataflow edges
 	opClass      []topoClass   // per op
@@ -108,10 +117,68 @@ type Context struct {
 	// Stats.Counters() stay comparable. It lives here rather than on
 	// Stats to keep Stats a comparable struct.
 	memo map[string]float64
+
+	// Per-run tracing state, live only while Trace is set: the run's audit
+	// collector, the root span, the span adopted as parent by nested infer
+	// spans, and the in-flight prune audit record. All are written and read
+	// by the single goroutine driving the enumeration (worker goroutines
+	// never touch spans).
+	rt      *RunTrace
+	root    *obs.Span
+	curSpan *obs.Span
+	curRec  *PruneRecord
 }
 
 // resetMemo clears the per-run prediction memo.
 func (c *Context) resetMemo() { c.memo = nil }
+
+// span opens a child span of parent when this run is traced; the returned
+// span may be nil and all its methods then no-op.
+func (c *Context) span(parent *obs.Span, name string) *obs.Span {
+	if c.rt == nil {
+		return nil
+	}
+	return c.Trace.StartSpan(parent, name)
+}
+
+// beginRunTrace arms per-run tracing when a Trace is attached, returning the
+// run's root span (nil otherwise). endRunTrace must run before the entry
+// point returns.
+func (c *Context) beginRunTrace() *obs.Span {
+	c.rt, c.root, c.curSpan, c.curRec = nil, nil, nil, nil
+	if c.Trace == nil {
+		return nil
+	}
+	c.rt = c.newRunTrace()
+	c.root = c.Trace.StartSpan(nil, "optimize")
+	c.root.SetInt("ops", int64(c.Plan.NumOps()))
+	c.root.SetFloat("searchSpace", c.SearchSpaceSize())
+	return c.root
+}
+
+// endRunTrace closes the root span, stamps the run's outcome onto it, and
+// clears the transient tracing state. Returns the collected audit (nil on
+// untraced runs) for attachment to the Result.
+func (c *Context) endRunTrace(st *Stats, err error) *RunTrace {
+	rt := c.rt
+	if rt != nil {
+		c.root.SetInt("vectorsCreated", int64(st.VectorsCreated))
+		c.root.SetInt("pruned", int64(st.Pruned))
+		c.root.SetInt("modelRows", int64(st.ModelRows))
+		c.root.SetInt("memoHits", int64(st.MemoHits))
+		if st.Degraded {
+			c.root.SetBool("degraded", true)
+			c.root.SetStr("degradeReason", st.DegradeReason)
+		}
+		if err != nil {
+			c.root.SetStr("error", err.Error())
+			c.Trace.SetError(err.Error())
+		}
+		c.root.End()
+	}
+	c.rt, c.root, c.curSpan, c.curRec = nil, nil, nil, nil
+	return rt
+}
 
 // NewContext prepares an optimization context for plan l over the given
 // platform universe and availability matrix.

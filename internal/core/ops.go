@@ -423,13 +423,15 @@ func (p BoundaryPruner) Prune(ctx context.Context, c *Context, e *Enumeration, s
 	if !c.predictEnum(ctx, p.Model, e, st) {
 		return
 	}
-	dedupFootprint(e, st)
+	dedupFootprint(e, st, c.curRec)
 }
 
 // dedupFootprint keeps, per pruning footprint, only the cheapest vector
 // (costs must already be set). It is the lossless half of boundary pruning,
-// shared by BoundaryPruner and the batch ablation benchmark.
-func dedupFootprint(e *Enumeration, st *Stats) {
+// shared by BoundaryPruner and the batch ablation benchmark. rec, when
+// non-nil, receives the pruning audit (which discarded vector was the best
+// pruned alternative); untraced runs pass nil and pay nothing.
+func dedupFootprint(e *Enumeration, st *Stats, rec *PruneRecord) {
 	if len(e.Vectors) <= 1 {
 		return
 	}
@@ -441,12 +443,15 @@ func dedupFootprint(e *Enumeration, st *Stats) {
 		key, skey, packed := footprintKey(v.Assign, e.Boundary)
 		if packed {
 			if s, ok := byKey[key]; ok {
+				discarded := v
 				if v.Cost < kept[s.idx].Cost {
+					discarded = kept[s.idx]
 					kept[s.idx] = v
 				}
 				if st != nil {
 					st.Pruned++
 				}
+				rec.observeDiscard(discarded, s.idx)
 				continue
 			}
 			byKey[key] = slot{idx: len(kept)}
@@ -455,12 +460,15 @@ func dedupFootprint(e *Enumeration, st *Stats) {
 				byStr = make(map[string]slot)
 			}
 			if s, ok := byStr[skey]; ok {
+				discarded := v
 				if v.Cost < kept[s.idx].Cost {
+					discarded = kept[s.idx]
 					kept[s.idx] = v
 				}
 				if st != nil {
 					st.Pruned++
 				}
+				rec.observeDiscard(discarded, s.idx)
 				continue
 			}
 			byStr[skey] = slot{idx: len(kept)}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vecops"
 )
 
@@ -96,6 +97,14 @@ func (c *Context) predictEnum(ctx context.Context, m CostModel, e *Enumeration, 
 		return true
 	}
 	start := time.Now()
+	var ispan *obs.Span
+	if c.rt != nil {
+		parent := c.curSpan
+		if parent == nil {
+			parent = c.root
+		}
+		ispan = c.Trace.StartSpan(parent, "infer")
+	}
 	if c.memo == nil {
 		c.memo = make(map[string]float64)
 	}
@@ -145,6 +154,19 @@ func (c *Context) predictEnum(ctx context.Context, m CostModel, e *Enumeration, 
 				st.ModelRows += len(miss)
 			}
 			st.MemoHits += hits
+		}
+	}
+	if ispan != nil {
+		ispan.SetInt("rows", int64(len(miss))).SetInt("memoHits", int64(hits))
+		if !ok {
+			ispan.SetBool("cancelled", true)
+		}
+		ispan.End()
+	}
+	if ok {
+		if rec := c.curRec; rec != nil {
+			rec.ModelRows += len(miss)
+			rec.MemoHits += hits
 		}
 	}
 	return ok

@@ -112,12 +112,15 @@ func (p PropertyPruner) Prune(ctx context.Context, c *Context, e *Enumeration, s
 		}
 		k := groupKey{foot: foot, sfoot: sfoot, prop: prop}
 		if j, ok := best[k]; ok {
+			discarded := v
 			if v.Cost < kept[j].Cost {
+				discarded = kept[j]
 				kept[j] = v
 			}
 			if st != nil {
 				st.Pruned++
 			}
+			c.curRec.observeDiscard(discarded, j)
 			continue
 		}
 		best[k] = len(kept)

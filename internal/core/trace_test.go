@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// tracedRun optimizes a pipeline workload with a one-shot trace attached and
+// returns the result (whose Trace is the audit under test).
+func tracedRun(t *testing.T, nOps, nPlats int) *core.Result {
+	t.Helper()
+	ctx := newCtx(t, workload.Pipeline(nOps, 1e6), nPlats)
+	m := newLinModel(ctx.Schema.Len(), 7)
+	ctx.Trace = obs.NewTrace("test-run")
+	res, err := ctx.Optimize(context.Background(), m)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if res.Trace == nil {
+		t.Fatal("traced run returned no RunTrace")
+	}
+	return res
+}
+
+// TestTracedOptimizeSpanCoverage asserts the span tree covers all seven
+// algebra operations under one root, with prune spans whose attributes are
+// consistent (vectors_out never exceeds vectors_in).
+func TestTracedOptimizeSpanCoverage(t *testing.T) {
+	res := tracedRun(t, 8, 3)
+	res.Trace.Spans.End()
+	snap := res.Trace.Spans.Snapshot()
+
+	seen := map[string]int{}
+	var rootID int = -2
+	for _, s := range snap.Spans {
+		seen[s.Name]++
+		if s.Name == "optimize" {
+			if s.Parent != -1 {
+				t.Errorf("optimize span has parent %d", s.Parent)
+			}
+			rootID = s.ID
+		}
+	}
+	for _, want := range []string{"optimize", "vectorize", "enumerate", "split", "merge", "prune", "infer", "unvectorize"} {
+		if seen[want] == 0 {
+			t.Errorf("span %q missing from trace (have %v)", want, seen)
+		}
+	}
+	for _, s := range snap.Spans {
+		if s.Name != "optimize" && s.Parent != rootID && s.Name != "infer" {
+			t.Errorf("span %s parented to %d, not the root %d", s.Name, s.Parent, rootID)
+		}
+		if s.Name == "prune" {
+			in, iok := s.Attrs["vectors_in"].(int64)
+			out, ook := s.Attrs["vectors_out"].(int64)
+			if !iok || !ook {
+				t.Fatalf("prune span lacks vector attrs: %v", s.Attrs)
+			}
+			if out > in {
+				t.Errorf("prune span grew the enumeration: %d -> %d", in, out)
+			}
+		}
+	}
+}
+
+// TestPruneAuditMatchesStats cross-checks the typed audit trail against the
+// run's Stats: on a non-degraded run every discarded vector is accounted for
+// by exactly one prune record, and the per-record inference tallies sum to
+// the run totals.
+func TestPruneAuditMatchesStats(t *testing.T) {
+	res := tracedRun(t, 9, 3)
+	if res.Degraded {
+		t.Fatal("unbudgeted run degraded")
+	}
+	pruned, rows, hits := 0, 0, 0
+	for _, rec := range res.Trace.Prunes {
+		if rec.VectorsOut > rec.VectorsIn {
+			t.Errorf("step %d: vectors %d -> %d", rec.Step, rec.VectorsIn, rec.VectorsOut)
+		}
+		if rec.BestCost > rec.WorstCost {
+			t.Errorf("step %d: best %g > worst %g", rec.Step, rec.BestCost, rec.WorstCost)
+		}
+		if bp := rec.BestPruned; bp != nil {
+			if bp.Margin < 0 {
+				t.Errorf("step %d: negative losing margin %g", rec.Step, bp.Margin)
+			}
+			if len(bp.BoundaryAssign) != len(rec.Boundary) || len(bp.SurvivorAssign) != len(rec.Boundary) {
+				t.Errorf("step %d: boundary assign lengths %d/%d vs %d boundary ops",
+					rec.Step, len(bp.BoundaryAssign), len(bp.SurvivorAssign), len(rec.Boundary))
+			}
+		}
+		pruned += rec.VectorsIn - rec.VectorsOut
+		rows += rec.ModelRows
+		hits += rec.MemoHits
+	}
+	if pruned != res.Stats.Pruned {
+		t.Errorf("audit accounts for %d pruned vectors, Stats.Pruned = %d", pruned, res.Stats.Pruned)
+	}
+	// GetOptimal's final scoring runs outside any prune record, so the audit
+	// totals are bounded by (not equal to) the run totals.
+	if rows > res.Stats.ModelRows {
+		t.Errorf("audit model rows %d exceed Stats.ModelRows %d", rows, res.Stats.ModelRows)
+	}
+	if hits > res.Stats.MemoHits {
+		t.Errorf("audit memo hits %d exceed Stats.MemoHits %d", hits, res.Stats.MemoHits)
+	}
+}
+
+// TestUntracedRunStaysClean pins the default: without Context.Trace the
+// result must carry no trace and Explain must refuse.
+func TestUntracedRunStaysClean(t *testing.T) {
+	ctx := newCtx(t, workload.Pipeline(6, 1e6), 2)
+	m := newLinModel(ctx.Schema.Len(), 1)
+	res, err := ctx.Optimize(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("untraced run recorded a trace")
+	}
+	if _, err := res.Explain(); err == nil {
+		t.Fatal("Explain succeeded without a trace")
+	}
+}
+
+// TestTracingDoesNotChangeTheAnswer runs the same optimization with and
+// without a trace: instrumentation must be observation-only.
+func TestTracingDoesNotChangeTheAnswer(t *testing.T) {
+	l := workload.Pipeline(8, 1e6)
+	plain := newCtx(t, l, 3)
+	traced := newCtx(t, l, 3)
+	traced.Trace = obs.NewTrace("x")
+	m := newLinModel(plain.Schema.Len(), 3)
+	r1, err := plain.Optimize(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := traced.Optimize(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Predicted != r2.Predicted {
+		t.Errorf("predicted cost changed under tracing: %g vs %g", r1.Predicted, r2.Predicted)
+	}
+	for i := range r1.Execution.Assign {
+		if r1.Execution.Assign[i] != r2.Execution.Assign[i] {
+			t.Fatalf("assignment changed under tracing at op %d", i)
+		}
+	}
+	if r1.Stats.Counters() != r2.Stats.Counters() {
+		t.Errorf("stats changed under tracing: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+// TestExplainReport checks the derived explanation names the winning
+// platform of every operator (matching the execution plan exactly), the
+// runner-up plan, and only boundaries that discarded something.
+func TestExplainReport(t *testing.T) {
+	res := tracedRun(t, 8, 3)
+	ex, err := res.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Predicted != res.Predicted {
+		t.Errorf("explanation predicts %g, result %g", ex.Predicted, res.Predicted)
+	}
+	if len(ex.Operators) != len(res.Execution.Assign) {
+		t.Fatalf("%d operator choices for %d operators", len(ex.Operators), len(res.Execution.Assign))
+	}
+	for _, oc := range ex.Operators {
+		if want := res.Execution.Assign[oc.Op].String(); oc.Platform != want {
+			t.Errorf("op %d: explanation says %s, plan says %s", oc.Op, oc.Platform, want)
+		}
+		if oc.Contribution < 0 {
+			t.Errorf("op %d: negative contribution %g", oc.Op, oc.Contribution)
+		}
+	}
+	if ex.Final == nil {
+		t.Fatal("no final selection in explanation")
+	}
+	if ex.Final.BestCost != res.Predicted {
+		t.Errorf("final best cost %g != predicted %g", ex.Final.BestCost, res.Predicted)
+	}
+	if ru := ex.Final.RunnerUp; ru != nil {
+		if ru.Margin < 0 {
+			t.Errorf("runner-up margin %g < 0", ru.Margin)
+		}
+		if len(ru.Assign) != len(res.Execution.Assign) {
+			t.Errorf("runner-up names %d assignments, want %d", len(ru.Assign), len(res.Execution.Assign))
+		}
+	}
+	for _, rec := range ex.Boundaries {
+		if rec.BestPruned == nil {
+			t.Error("explanation includes a boundary that discarded nothing")
+		}
+	}
+	if out := ex.String(); len(out) == 0 {
+		t.Error("empty text report")
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "info", "json", "testcomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hidden")
+	l.Info("visible", "requestId", "r1", "ms", 1.5)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "visible" || rec["component"] != "testcomp" || rec["requestId"] != "r1" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerTextAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "warn", "text", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("kept")
+	if out := buf.String(); !strings.Contains(out, "kept") || strings.Contains(out, "hidden") {
+		t.Errorf("level filtering broken:\n%s", out)
+	}
+	if _, err := NewLogger(&buf, "info", "xml", ""); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+	if _, err := NewLogger(&buf, "loud", "text", ""); err == nil {
+		t.Error("NewLogger accepted an unknown level")
+	}
+}

@@ -97,23 +97,40 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
-// attributing each bucket its upper bound. Returns 0 on an empty histogram.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts.
+// The estimator locates the bucket containing the rank ⌈q·count⌉ and
+// linearly interpolates within it, assuming observations are uniformly
+// distributed across the bucket's range (lower bound 0 for the first
+// bucket, 2^(i-1) otherwise; upper bound 2^i): the estimate is
+//
+//	lower + (upper-lower) · (rank - countBefore) / bucketCount
+//
+// which is exact for uniformly filled buckets and bounded by the bucket
+// edges otherwise — strictly tighter than the upper-bound attribution it
+// replaces. Values in the catch-all last bucket still report its lower
+// power-of-two scaled by the same interpolation. Returns 0 on an empty
+// histogram.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(total)))
+	rank := math.Ceil(q * float64(total))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
 	for i := 0; i < numBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return math.Pow(2, float64(i))
+		n := h.buckets[i].Load()
+		if n > 0 && float64(seen+n) >= rank {
+			upper := math.Pow(2, float64(i))
+			lower := 0.0
+			if i > 0 {
+				lower = math.Pow(2, float64(i-1))
+			}
+			return lower + (upper-lower)*(rank-float64(seen))/float64(n)
 		}
+		seen += n
 	}
 	return math.Pow(2, float64(numBuckets-1))
 }

@@ -42,10 +42,16 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if h.Sum() != 5050 {
 		t.Fatalf("sum = %g", h.Sum())
 	}
-	// Quantiles are upper-bound estimates: p50 of 1..100 lands in the
-	// (32,64] bucket, so the estimate is 64.
-	if q := h.Quantile(0.5); q != 64 {
-		t.Fatalf("p50 = %g, want 64", q)
+	// Quantiles interpolate linearly within the winning bucket: p50 of
+	// 1..100 has rank 50 in the (32,64] bucket, which holds ranks 33..64,
+	// so the estimate is 32 + 32·(50-32)/32 = 50 — exact here because the
+	// bucket is uniformly filled.
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("p50 = %g, want 50", q)
+	}
+	// p25 (rank 25) lands in (16,32] holding ranks 17..32: 16 + 16·(25-16)/16.
+	if q := h.Quantile(0.25); q != 25 {
+		t.Fatalf("p25 = %g, want 25", q)
 	}
 	if q := h.Quantile(1); q != 128 {
 		t.Fatalf("p100 = %g, want 128", q)

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte against
+// testdata/metrics.prom: the format is a wire contract with scrapers, so any
+// drift (ordering, quoting, float formatting) should be a conscious change.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.Counter("failures_total").Inc()
+	r.Gauge("feedback_buffer_len").Set(2.5)
+	h := r.Histogram("optimize_ms")
+	h.Observe(0.5) // bucket le=1
+	h.Observe(3)   // bucket le=4
+	h.Observe(100) // bucket le=128
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+func TestWritePrometheusSpecialFloats(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("weird").Set(0)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "weird 0\n") {
+		t.Errorf("zero gauge misformatted:\n%s", buf.String())
+	}
+	if promFloat(math.Inf(-1)) != "-Inf" || promFloat(math.Inf(1)) != "+Inf" || promFloat(math.NaN()) != "NaN" {
+		t.Error("special floats misformatted")
+	}
+}

@@ -3,6 +3,7 @@ package registry
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -46,8 +47,10 @@ type Retrainer struct {
 	Platforms   []string
 	// Metrics, when set, receives retrain counters and durations.
 	Metrics *obs.Registry
-	// Logf, when set, receives one line per retraining attempt.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives one structured record per retraining
+	// attempt: promotions at Info, holdout regressions at Warn, skipped
+	// attempts (insufficient or no new samples) at Debug, errors at Error.
+	Logger *slog.Logger
 	// Gate, when set, is locked by Run around each background attempt so
 	// unattended retrains serialize with an external admin mutex (the
 	// service's /modelz mutation lock) — a background promotion can then
@@ -107,12 +110,6 @@ func (r *Retrainer) interval() time.Duration {
 	return time.Minute
 }
 
-func (r *Retrainer) logf(format string, args ...any) {
-	if r.Logf != nil {
-		r.Logf(format, args...)
-	}
-}
-
 // Run retrains every Interval until ctx is cancelled. Errors are logged and
 // do not stop the loop.
 func (r *Retrainer) Run(ctx context.Context) {
@@ -124,17 +121,37 @@ func (r *Retrainer) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			out, err := r.retrainGated()
-			switch {
-			case err != nil:
-				r.logf("retrain failed: %v", err)
-			case out.Promoted:
-				r.logf("retrain promoted %s (holdout MAE %.4g vs active %.4g)",
-					out.Version, out.Candidate.MAE, out.Active.MAE)
-			case out.Reason == "holdout-regression":
-				r.logf("retrain rejected: holdout MAE %.4g regressed vs active %.4g",
-					out.Candidate.MAE, out.Active.MAE)
-			}
+			r.logOutcome(out, err)
 		}
+	}
+}
+
+// logOutcome emits one structured record per retraining attempt, keyed by
+// the outcome reason so operators can alert on regressions and confirm
+// promotions without parsing free-form text.
+func (r *Retrainer) logOutcome(out Outcome, err error) {
+	if r.Logger == nil {
+		return
+	}
+	if err != nil {
+		r.Logger.Error("retrain failed", "err", err.Error())
+		return
+	}
+	switch out.Reason {
+	case "promoted":
+		r.Logger.Info("retrain promoted",
+			"version", out.Version,
+			"candidateMAE", out.Candidate.MAE,
+			"activeMAE", out.Active.MAE)
+	case "holdout-regression":
+		r.Logger.Warn("retrain rejected",
+			"reason", out.Reason,
+			"candidateMAE", out.Candidate.MAE,
+			"activeMAE", out.Active.MAE)
+	case "insufficient-samples", "insufficient-unseen-samples":
+		r.Logger.Info("retrain skipped", "reason", out.Reason)
+	default: // no-new-samples: the steady state, not worth Info noise.
+		r.Logger.Debug("retrain skipped", "reason", out.Reason)
 	}
 }
 

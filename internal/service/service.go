@@ -8,14 +8,21 @@
 //   - POST /optimize — optimize a JSON logical plan. Query parameters:
 //     deadline_ms (per-request optimization deadline in milliseconds,
 //     overriding the server default; the request degrades near the deadline
-//     and returns 503 once it is exceeded) and simulate=1 (also run the
-//     chosen plan on the simulated cluster).
+//     and returns 503 once it is exceeded), simulate=1 (also run the chosen
+//     plan on the simulated cluster) and trace=1 (force-retain the request's
+//     trace and inline its span tree and pruning audit trail in the
+//     response).
 //   - GET /healthz — liveness probe.
 //   - GET /statz — cumulative request counters as JSON.
-//   - GET /metricz — full metrics snapshot (see below).
+//   - GET /metricz — full metrics snapshot (see below);
+//     ?format=prometheus serves the Prometheus text exposition instead.
+//   - GET /tracez — recent retained traces, newest first; ?id= for one
+//     (see tracez.go).
 //   - GET /modelz, POST /modelz/reload, POST /modelz/promote,
 //     POST /modelz/retrain, GET /modelz/feedback — the model lifecycle admin
 //     surface (see modelz.go).
+//   - /debug/pprof/ — the net/http/pprof profiling surface, mounted only
+//     when the server opts in (roboptd -pprof).
 //
 // Every response carries an X-Request-Id header; errors are JSON bodies of
 // the form {"error": "...", "requestId": "..."}.
@@ -66,6 +73,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -124,6 +132,19 @@ type Server struct {
 	// MaxBodyBytes caps the request body size; oversized plans are
 	// rejected with 413 before parsing. Zero means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Tracer, when set, records a span tree per /optimize request and
+	// retains notable ones for GET /tracez. The request ID doubles as the
+	// trace ID, so traces join against logs and response bodies. Nil
+	// disables tracing except for explicit ?trace=1 requests, which get a
+	// one-shot trace inlined in the response but retained nowhere.
+	Tracer *obs.Tracer
+	// Logger, when set, receives one structured record per request
+	// (requestId, status, latency, degradation, model version). Nil means
+	// no request logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (roboptd
+	// -pprof). Off by default.
+	EnablePprof bool
 
 	reqSeq  atomic.Int64
 	mOnce   sync.Once
@@ -203,6 +224,9 @@ type OptimizeResponse struct {
 	StageMs map[string]float64 `json:"stageMs"`
 	// OptimizationMs is the wall-clock optimization latency.
 	OptimizationMs float64 `json:"optimizationMs"`
+	// Trace inlines the run's span tree and pruning audit trail when the
+	// request asked for it with ?trace=1.
+	Trace *core.RunTrace `json:"trace,omitempty"`
 }
 
 // ConversionJSON is one conversion operator in the reply.
@@ -245,6 +269,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/modelz/promote", s.handleModelzPromote)
 	mux.HandleFunc("/modelz/retrain", s.handleModelzRetrain)
 	mux.HandleFunc("/modelz/feedback", s.handleModelzFeedback)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	s.registerPprof(mux)
 	return mux
 }
 
@@ -306,6 +332,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	cctx.Budget = budget
 
+	// The request ID doubles as the trace ID. A configured tracer records
+	// every request and decides retention at the end (tail-based sampling);
+	// ?trace=1 additionally forces retention and inlines the trace in the
+	// response. Without a tracer, ?trace=1 still gets a one-shot trace that
+	// lives only in this response.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	tr := s.Tracer.Start(reqID)
+	if tr == nil && wantTrace {
+		tr = obs.NewTrace(reqID)
+	}
+	cctx.Trace = tr
+
 	ctx := r.Context()
 	if deadline > 0 {
 		var cancel context.CancelFunc
@@ -317,24 +355,37 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// modelVersion is exactly the model that scored the plan.
 	p := s.provider()
 	if p == nil {
-		s.fail(w, reqID, http.StatusServiceUnavailable, errors.New("service: no model configured"))
+		err := errors.New("service: no model configured")
+		tr.SetError(err.Error())
+		s.Tracer.Finish(tr, wantTrace, "")
+		s.fail(w, reqID, http.StatusServiceUnavailable, err)
+		s.logOptimize(reqID, http.StatusServiceUnavailable, start, "", false, err)
 		return
 	}
 	snap := p.Get()
 	res, err := cctx.OptimizeProvider(ctx, snap)
 	if err != nil {
+		tr.SetError(err.Error())
+		s.Tracer.Finish(tr, wantTrace, "")
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.mu.Lock()
 			s.stats.DeadlineExceeded++
 			s.mu.Unlock()
 			s.Metrics().Counter("deadline_exceeded_total").Inc()
-			s.fail(w, reqID, http.StatusServiceUnavailable,
-				fmt.Errorf("service: optimization exceeded its deadline of %v: %w", deadline, err))
+			err = fmt.Errorf("service: optimization exceeded its deadline of %v: %w", deadline, err)
+			s.fail(w, reqID, http.StatusServiceUnavailable, err)
+			s.logOptimize(reqID, http.StatusServiceUnavailable, start, snap.Version(), false, err)
 			return
 		}
 		s.fail(w, reqID, http.StatusUnprocessableEntity, err)
+		s.logOptimize(reqID, http.StatusUnprocessableEntity, start, snap.Version(), false, err)
 		return
 	}
+	notable := ""
+	if res.Degraded {
+		notable = "degraded"
+	}
+	s.Tracer.Finish(tr, wantTrace, notable)
 	resp := OptimizeResponse{
 		RequestID:           reqID,
 		ModelVersion:        snap.Version(),
@@ -352,6 +403,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		},
 		StageMs:        res.Stats.Timings.Milliseconds(),
 		OptimizationMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if wantTrace {
+		resp.Trace = res.Trace
 	}
 	for _, p := range res.Execution.Assign {
 		resp.Assignments = append(resp.Assignments, p.String())
@@ -388,6 +442,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	s.record(resp, res)
+	if s.Logger != nil {
+		s.Logger.Info("optimize",
+			"requestId", reqID,
+			"status", http.StatusOK,
+			"ms", resp.OptimizationMs,
+			"modelVersion", resp.ModelVersion,
+			"degraded", res.Degraded,
+			"traced", tr != nil,
+			"predictedSec", res.Predicted)
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -424,6 +488,21 @@ func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	}
 }
 
+// logOptimize emits one structured record for a failed optimize request.
+// (The success path logs inline, where the full response is in scope.)
+func (s *Server) logOptimize(reqID string, status int, start time.Time, modelVersion string, degraded bool, err error) {
+	if s.Logger == nil {
+		return
+	}
+	s.Logger.Error("optimize failed",
+		"requestId", reqID,
+		"status", status,
+		"ms", float64(time.Since(start).Microseconds())/1000,
+		"modelVersion", modelVersion,
+		"degraded", degraded,
+		"err", err.Error())
+}
+
 // fail reports an error reply as JSON and counts it.
 func (s *Server) fail(w http.ResponseWriter, reqID string, code int, err error) {
 	s.mu.Lock()
@@ -458,6 +537,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	// ?format=prometheus serves the same registry in the Prometheus text
+	// exposition format (version 0.0.4) so a standard scraper can ingest it.
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Metrics().WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.Metrics().Snapshot())
 }

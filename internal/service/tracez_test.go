@@ -1,0 +1,268 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/service"
+)
+
+// newTracedServer is newTestServer with a tracer retaining every request.
+func newTracedServer() (*service.Server, *httptest.Server) {
+	s := &service.Server{
+		Model:     sumModel{},
+		Platforms: platform.Subset(3),
+		Avail:     platform.UniformAvailability(3),
+		Tracer:    obs.NewTracer(8, 1, 0),
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+func TestOptimizeTraceInline(t *testing.T) {
+	_, ts := newTracedServer()
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/optimize?trace=1", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire shape of the inline trace: obs.Trace marshals as its
+	// snapshot, so clients (and this test) decode spans as a TraceSnapshot.
+	var out struct {
+		service.OptimizeResponse
+		Trace *struct {
+			Spans  obs.TraceSnapshot   `json:"spans"`
+			Prunes []*core.PruneRecord `json:"prunes"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("?trace=1 returned no inline trace")
+	}
+	if len(out.Trace.Prunes) == 0 {
+		t.Fatal("inline trace has no pruning audit records")
+	}
+	pruned := 0
+	for _, rec := range out.Trace.Prunes {
+		if rec.VectorsOut > rec.VectorsIn {
+			t.Errorf("step %d: vectors %d -> %d", rec.Step, rec.VectorsIn, rec.VectorsOut)
+		}
+		pruned += rec.VectorsIn - rec.VectorsOut
+	}
+	if pruned != out.Stats.Pruned {
+		t.Errorf("inline audit accounts for %d pruned, stats say %d", pruned, out.Stats.Pruned)
+	}
+	snap := out.Trace.Spans
+	if snap.ID != out.RequestID {
+		t.Errorf("trace ID %q != request ID %q", snap.ID, out.RequestID)
+	}
+	names := map[string]bool{}
+	for _, s := range snap.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"optimize", "vectorize", "enumerate", "split", "merge", "prune", "infer", "unvectorize"} {
+		if !names[want] {
+			t.Errorf("span %q missing from inline trace", want)
+		}
+	}
+}
+
+func TestOptimizeWithoutTraceParamOmitsInline(t *testing.T) {
+	_, ts := newTracedServer()
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), `"trace"`) {
+		t.Error("trace inlined without ?trace=1")
+	}
+}
+
+func TestTracezListAndGet(t *testing.T) {
+	_, ts := newTracedServer()
+	defer ts.Close()
+
+	// Two optimizations, sample rate 1: both retained.
+	var lastID string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(planJSON(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out service.OptimizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		lastID = out.RequestID
+	}
+
+	resp, err := http.Get(ts.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list service.TracezResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if !list.Enabled || list.SampleRate != 1 {
+		t.Errorf("enabled=%v sampleRate=%v", list.Enabled, list.SampleRate)
+	}
+	if list.Retained != 2 || len(list.Traces) != 2 {
+		t.Fatalf("retained=%d traces=%d, want 2/2", list.Retained, len(list.Traces))
+	}
+	if list.Traces[0].ID != lastID {
+		t.Errorf("newest-first ordering broken: got %s, want %s", list.Traces[0].ID, lastID)
+	}
+
+	one, err := http.Get(ts.URL + "/tracez?id=" + lastID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Body.Close()
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(one.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != lastID || len(snap.Spans) == 0 {
+		t.Errorf("single-trace lookup: id=%s spans=%d", snap.ID, len(snap.Spans))
+	}
+
+	missing, err := http.Get(ts.URL + "/tracez?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id: status %d, want 404", missing.StatusCode)
+	}
+}
+
+func TestTracezDisabled(t *testing.T) {
+	ts := newTestServer() // no Tracer
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list service.TracezResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Enabled || len(list.Traces) != 0 {
+		t.Errorf("tracerless server reports enabled=%v with %d traces", list.Enabled, len(list.Traces))
+	}
+}
+
+// TestTraceOnTracerlessServer: ?trace=1 must still inline a one-shot trace
+// even when the server retains nothing.
+func TestTraceOnTracerlessServer(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/optimize?trace=1", "application/json", bytes.NewReader(planJSON(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Trace *core.RunTrace `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || len(out.Trace.Prunes) == 0 {
+		t.Fatal("tracerless ?trace=1 returned no usable trace")
+	}
+}
+
+func TestMetriczPrometheus(t *testing.T) {
+	_, ts := newTracedServer()
+	defer ts.Close()
+	if resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(planJSON(t))); err == nil {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metricz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE requests_total counter\nrequests_total 1\n",
+		"# TYPE optimize_ms histogram\n",
+		`optimize_ms_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The default /metricz stays JSON.
+	jresp, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default content type = %q", ct)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	// Disabled by default: the profiling surface must 404.
+	off := newTestServer()
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable while disabled: status %d", resp.StatusCode)
+	}
+
+	s := &service.Server{
+		Model:       sumModel{},
+		Platforms:   platform.Subset(2),
+		Avail:       platform.UniformAvailability(2),
+		EnablePprof: true,
+	}
+	on := httptest.NewServer(s.Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not reachable when enabled: status %d", resp.StatusCode)
+	}
+}

@@ -103,4 +103,41 @@ curl -sf "$BASE/modelz" > "$WORK/modelz.json"
 [ "$(jget "$WORK/modelz.json" "d['store']['active']")" = "v2" ] \
   || die "store ACTIVE marker not moved to v2"
 
-echo "PASS: model lifecycle smoke test"
+say "tracing an optimization and reading it back from /tracez"
+curl -sf -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize?trace=1" > "$WORK/traced.json"
+TRACE_ID="$(jget "$WORK/traced.json" "d['requestId']")"
+[ "$(jget "$WORK/traced.json" "len(d['trace']['prunes']) > 0")" = "True" ] \
+  || die "?trace=1 response carries no pruning audit"
+curl -sf "$BASE/tracez?id=$TRACE_ID" > "$WORK/trace.json"
+[ "$(jget "$WORK/trace.json" "d['id']")" = "$TRACE_ID" ] \
+  || die "/tracez?id= did not return the forced trace"
+# Every prune span must shrink (or keep) the enumeration: vectors_out <= in.
+python3 - "$WORK/trace.json" <<'PY' || die "prune span vector accounting inconsistent"
+import json, sys
+spans = json.load(open(sys.argv[1]))["spans"]
+prunes = [s for s in spans if s["name"] == "prune"]
+assert prunes, "no prune spans in the retained trace"
+for s in prunes:
+    a = s.get("attrs", {})
+    assert a["vectors_out"] <= a["vectors_in"], f"prune grew: {a}"
+names = {s["name"] for s in spans}
+missing = {"optimize", "vectorize", "enumerate", "split",
+           "merge", "prune", "infer", "unvectorize"} - names
+assert not missing, f"missing spans: {missing}"
+PY
+
+say "scraping /metricz in prometheus format"
+curl -sf "$BASE/metricz?format=prometheus" > "$WORK/metricz.prom"
+grep -q '^# TYPE requests_total counter$' "$WORK/metricz.prom" \
+  || die "prometheus exposition lacks requests_total TYPE line"
+grep -Eq '^requests_total [0-9]+$' "$WORK/metricz.prom" \
+  || die "prometheus exposition lacks a requests_total sample"
+grep -q '^optimize_ms_bucket{le="+Inf"}' "$WORK/metricz.prom" \
+  || die "prometheus exposition lacks the optimize_ms +Inf bucket"
+
+say "pprof stays off by default"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")" = "404" ] \
+  || die "/debug/pprof/ reachable without -pprof"
+
+echo "PASS: model lifecycle + observability smoke test"
