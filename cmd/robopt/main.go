@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
@@ -58,8 +59,13 @@ func main() {
 		explain   = flag.String("explain", "", "trace the optimization and print an explanation report: text or json (multi mode only)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("robopt"))
+		return
+	}
 	if *explain != "" && *explain != "text" && *explain != "json" {
 		log.Fatalf("-explain must be text or json, got %q", *explain)
 	}

@@ -20,6 +20,16 @@
 // feedback and promotes the candidate only when its holdout error does not
 // regress.
 //
+// # Plan cache
+//
+// Repeated structurally identical plans are served from a fingerprint-keyed
+// plan cache (-cache-entries/-cache-bytes/-cache-ttl) instead of re-running
+// the enumeration; concurrent identical requests collapse into one run.
+// Entries are keyed by model version, and every promote/reload/retrain swap
+// flash-invalidates plans scored by the outgoing model. Responses carry an
+// X-Cache header; ?nocache=1 bypasses the cache per request; GET /cachez
+// and POST /cachez/purge administer it.
+//
 // # Observability
 //
 // Each request records a span trace keyed by its request ID; notable traces
@@ -32,18 +42,23 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
 	"repro/internal/obs"
+	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/registry"
 	"repro/internal/service"
@@ -72,8 +87,17 @@ func main() {
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		cacheSize   = flag.Int("cache-entries", plancache.DefaultMaxEntries, "plan cache capacity in entries (0 disables the cache)")
+		cacheBytes  = flag.Int64("cache-bytes", plancache.DefaultMaxBytes, "plan cache capacity in accounted bytes")
+		cacheTTL    = flag.Duration("cache-ttl", 10*time.Minute, "plan cache entry time-to-live (0 = no expiry)")
+		shutdownGr  = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests after SIGINT/SIGTERM")
+		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("roboptd"))
+		return
+	}
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat, "roboptd")
 	if err != nil {
@@ -186,6 +210,29 @@ func main() {
 		EnablePprof:     *pprofFlag,
 	}
 
+	if *cacheSize > 0 {
+		cache := plancache.New(plancache.Config{
+			MaxEntries: *cacheSize,
+			MaxBytes:   *cacheBytes,
+			TTL:        *cacheTTL,
+			Metrics:    srv.Metrics(),
+		})
+		// Pin the cache to the boot version so entries produced before the
+		// first swap are accepted, and swaps invalidate from a known base.
+		// The snapshot's label, not art.Version: the serving path keys
+		// entries with Snapshot.Version(), which is "unversioned" for a
+		// bare -model file outside a store.
+		cache.Activate(provider.Get().Version())
+		srv.PlanCache = cache
+		logger.Info("plan cache enabled", "entries", *cacheSize, "bytes", *cacheBytes, "ttl", *cacheTTL)
+	}
+
+	// Shutdown: the first SIGINT/SIGTERM starts a graceful drain; the
+	// retrainer loop shares the same root context and stops with it.
+	rootCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var retrainerDone chan struct{}
 	if *retrainIntv > 0 {
 		quickTrain := *quick
 		retrainer := &registry.Retrainer{
@@ -205,8 +252,18 @@ func main() {
 		// mutations, so a retrain swap can never interleave with an
 		// operator's reload or promote.
 		retrainer.Gate = srv.AdminLocker()
+		// A background promotion must flash-invalidate cached plans scored
+		// by the outgoing model, exactly like an admin promote does.
+		if srv.PlanCache != nil {
+			cache := srv.PlanCache
+			retrainer.OnSwap = func(v string) { cache.Activate(v) }
+		}
 		srv.Retrainer = retrainer
-		go retrainer.Run(context.Background())
+		retrainerDone = make(chan struct{})
+		go func() {
+			retrainer.Run(rootCtx)
+			close(retrainerDone)
+		}()
 		logger.Info("retraining enabled", "interval", *retrainIntv, "feedbackCap", feedback.Cap())
 	}
 
@@ -223,12 +280,39 @@ func main() {
 	}
 	logger.Info("serving",
 		"addr", *addr,
-		"endpoints", "POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /tracez, GET /modelz",
+		"endpoints", "POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /tracez, GET /modelz, GET /cachez",
 		"model", art.Version,
 		"deadline", *deadline,
 		"traceSample", *traceSample,
-		"pprof", *pprofFlag)
-	log.Fatal(hs.ListenAndServe())
+		"pprof", *pprofFlag,
+		"version", buildinfo.Version())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-rootCtx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, give in-flight requests
+	// -shutdown-grace to finish, and wait for the retrainer loop (already
+	// cancelled via rootCtx) to wind down. A second signal kills the
+	// process the default way because stop() restored default handling.
+	stop()
+	logger.Info("shutdown signal received; draining", "grace", *shutdownGr)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGr)
+	defer cancel()
+	drainErr := hs.Shutdown(drainCtx)
+	if retrainerDone != nil {
+		<-retrainerDone
+		logger.Info("retrainer stopped")
+	}
+	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
+		logger.Error("drain incomplete; open connections were cut", "err", drainErr)
+		os.Exit(1)
+	}
+	logger.Info("drained cleanly")
 }
 
 // findByHash returns the stored version carrying the given content hash, or

@@ -1,0 +1,282 @@
+// Package plancache caches optimization results keyed by a canonical
+// structural fingerprint of the logical plan and the model version that
+// produced them. It is the serving-layer reuse a production optimizer needs:
+// real query workloads are dominated by structurally repeated plans, and the
+// full vector enumeration is orders of magnitude more expensive than a hash
+// lookup.
+//
+// The subsystem has four pieces:
+//
+//   - Canonical fingerprinting (this file): a deterministic SHA-256 over a
+//     complete canonical byte encoding of the plan — topology, operator
+//     kinds, UDF complexity and selectivity annotations, source
+//     cardinalities bucketed into configurable log-scale bands, and the
+//     platform-availability matrix. The encoding is invariant to operator
+//     IDs, map iteration order and JSON field order.
+//   - A sharded, bounded LRU cache (cache.go): fingerprint-prefix sharding,
+//     per-entry TTL, byte-accounted capacity, eviction counters.
+//   - Singleflight request collapsing (singleflight.go): concurrent
+//     identical fingerprints run one enumeration and share the result.
+//   - Model-version-aware invalidation (cache.go): entries are keyed
+//     (fingerprint, modelVersion) and a hot-swap flash-invalidates stale
+//     entries through a generation counter instead of a sweep.
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+)
+
+// Fingerprint is the canonical structural hash of a logical plan under a
+// platform universe and availability matrix: SHA-256 of the complete
+// canonical encoding. Two plans with equal fingerprints have byte-identical
+// canonical encodings, i.e. they are structurally identical up to operator
+// relabeling (within the configured cardinality bands).
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns a 12-hex-character prefix, enough for logs and span attrs.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// DefaultCardBands is the default cardinality banding resolution: four bands
+// per decade, i.e. band edges at 10^(k/4) ≈ ×1.78 steps. Plans whose source
+// cardinalities differ by less than a band share a fingerprint and therefore
+// a cached plan choice; see DESIGN.md deviation note 12 for why that is
+// sound under the simulator's cost regimes.
+const DefaultCardBands = 4
+
+// Canon is the canonical relabeling computed alongside a fingerprint: the
+// permutation between the plan's operator IDs and its canonical operator
+// order. Cached platform assignments are stored in canonical order, so any
+// requester — whose equal-fingerprint plan may label operators differently —
+// can remap them onto its own operator IDs through its own Canon.
+type Canon struct {
+	// Perm maps operator ID to canonical index.
+	Perm []int
+}
+
+// NumOps returns the number of operators in the canonicalized plan.
+func (c *Canon) NumOps() int { return len(c.Perm) }
+
+// cardBand buckets a cardinality into log-scale bands: band k covers
+// [10^(k/bands), 10^((k+1)/bands)). Values at or below one tuple collapse
+// into band 0. The small epsilon keeps exact powers of ten on the
+// floating-point band edge they belong to.
+func cardBand(x float64, bands int) int64 {
+	if x <= 1 {
+		return 0
+	}
+	return int64(math.Floor(math.Log10(x)*float64(bands) + 1e-9))
+}
+
+// fnv-1a over 64-bit words: the label-refinement mixer. Only used to order
+// operators; the fingerprint itself hashes the complete canonical encoding,
+// so label collisions can at worst produce a false cache miss, never a
+// false hit.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+// Compute canonicalizes l under the given platform universe and availability
+// matrix and returns its fingerprint together with the canonical operator
+// permutation. bands is the cardinality banding resolution in bands per
+// decade (0 means DefaultCardBands).
+//
+// The canonical order is a topological order with Weisfeiler-Leman-refined
+// label tie-breaking: operator labels start from local attributes (kind,
+// UDF complexity, selectivity, loop iterations, banded source cardinality,
+// availability mask) and are iteratively refined with the labels of their
+// dataflow neighbours in port order. Ready operators are then emitted
+// smallest-label first. Truly symmetric (automorphic) operators may tie;
+// either choice yields the same canonical encoding, and any residual
+// asymmetry that labels fail to separate only risks a cache miss.
+func Compute(l *plan.Logical, platforms []platform.ID, avail *platform.Availability, bands int) (Fingerprint, *Canon, error) {
+	var zero Fingerprint
+	if l == nil || len(l.Ops) == 0 {
+		return zero, nil, fmt.Errorf("plancache: cannot fingerprint an empty plan")
+	}
+	if len(platforms) == 0 || len(platforms) > 32 {
+		return zero, nil, fmt.Errorf("plancache: fingerprint needs 1-32 platforms, got %d", len(platforms))
+	}
+	if avail == nil {
+		return zero, nil, fmt.Errorf("plancache: fingerprint needs an availability matrix")
+	}
+	if bands <= 0 {
+		bands = DefaultCardBands
+	}
+	n := len(l.Ops)
+
+	// Per-operator local attributes, computed once: the availability mask
+	// (which platform columns may run this operator) and the banded source
+	// cardinality (non-sources derive theirs from structure + selectivity,
+	// so only sources contribute a cardinality of their own).
+	availMask := make([]uint32, n)
+	srcBand := make([]int64, n)
+	loopIters := make([]uint32, n)
+	for i, o := range l.Ops {
+		for j, p := range platforms {
+			if avail.Has(o.Kind, p) {
+				availMask[i] |= 1 << uint(j)
+			}
+		}
+		srcBand[i] = -1
+		if len(o.In) == 0 {
+			srcBand[i] = cardBand(l.SourceCards[o.ID], bands)
+		}
+		if o.LoopID != 0 {
+			loopIters[i] = uint32(l.Loops[o.LoopID])
+		}
+	}
+
+	// Initial labels from local attributes only.
+	labels := make([]uint64, n)
+	for i, o := range l.Ops {
+		h := uint64(fnvOffset)
+		h = mix(h, uint64(o.Kind))
+		h = mix(h, uint64(o.UDF))
+		h = mix(h, math.Float64bits(o.Selectivity))
+		h = mix(h, uint64(loopIters[i]))
+		h = mix(h, uint64(srcBand[i]))
+		h = mix(h, uint64(availMask[i]))
+		h = mix(h, uint64(len(o.In)))
+		h = mix(h, uint64(len(o.Out)))
+		labels[i] = h
+	}
+	// Weisfeiler-Leman refinement: fold in neighbour labels in port order.
+	// The number of rounds bounds how far structural context propagates;
+	// the plan diameter suffices, capped for very long pipelines (the final
+	// encoding is complete regardless, so this only affects tie quality).
+	rounds := n
+	if rounds > 24 {
+		rounds = 24
+	}
+	next := make([]uint64, n)
+	for r := 0; r < rounds; r++ {
+		for i, o := range l.Ops {
+			h := mix(labels[i], 0x9e3779b97f4a7c15)
+			for k, p := range o.In {
+				h = mix(h, uint64(0x10+k))
+				h = mix(h, labels[p])
+			}
+			for k, c := range o.Out {
+				h = mix(h, uint64(0x20+k))
+				h = mix(h, labels[c])
+			}
+			next[i] = h
+		}
+		labels, next = next, labels
+	}
+
+	// Canonical order: Kahn's topological sort emitting the smallest-label
+	// ready operator first (original ID as the last-resort tiebreak for
+	// label-identical operators).
+	indeg := make([]int, n)
+	for _, o := range l.Ops {
+		indeg[o.ID] = len(o.In)
+	}
+	var ready []plan.OpID
+	for _, o := range l.Ops {
+		if indeg[o.ID] == 0 {
+			ready = append(ready, o.ID)
+		}
+	}
+	perm := make([]int, n) // op ID -> canonical index
+	inv := make([]int, n)  // canonical index -> op ID
+	for ci := 0; ci < n; ci++ {
+		if len(ready) == 0 {
+			return zero, nil, fmt.Errorf("plancache: plan contains a cycle")
+		}
+		best := 0
+		for j := 1; j < len(ready); j++ {
+			a, b := ready[j], ready[best]
+			if labels[a] < labels[b] || (labels[a] == labels[b] && a < b) {
+				best = j
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		perm[id] = ci
+		inv[ci] = int(id)
+		for _, c := range l.Ops[id].Out {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+
+	// Loop regions get canonical identities: the smallest canonical index
+	// among the region's members. This captures which operators share an
+	// iterative region, not just each operator's iteration count.
+	loopCanon := make(map[int]uint32)
+	for ci := 0; ci < n; ci++ {
+		o := l.Ops[inv[ci]]
+		if o.LoopID == 0 {
+			continue
+		}
+		if _, ok := loopCanon[o.LoopID]; !ok {
+			loopCanon[o.LoopID] = uint32(ci)
+		}
+	}
+
+	// Complete canonical encoding. Every structural and annotation feature
+	// appears, in canonical order, so equal encodings mean isomorphic plans
+	// (within a cardinality band) — the collision-resistance property the
+	// fingerprint inherits from SHA-256.
+	h := sha256.New()
+	var b [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	h.Write([]byte("robopt-plan-fp-v1"))
+	wu(uint64(bands))
+	wu(uint64(len(platforms)))
+	for _, p := range platforms {
+		name := p.String()
+		wu(uint64(len(name)))
+		h.Write([]byte(name))
+	}
+	wu(math.Float64bits(l.AvgTupleBytes))
+	wu(uint64(n))
+	for ci := 0; ci < n; ci++ {
+		o := l.Ops[inv[ci]]
+		wu(uint64(o.Kind))
+		wu(uint64(o.UDF))
+		wu(math.Float64bits(o.Selectivity))
+		wu(uint64(loopIters[o.ID]))
+		if o.LoopID != 0 {
+			wu(uint64(loopCanon[o.LoopID]) + 1)
+		} else {
+			wu(0)
+		}
+		wu(uint64(srcBand[o.ID]))
+		wu(uint64(availMask[o.ID]))
+		wu(uint64(len(o.In)))
+		for _, p := range o.In {
+			wu(uint64(perm[p]))
+		}
+		wu(uint64(len(o.Out)))
+		for _, c := range o.Out {
+			wu(uint64(perm[c]))
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp, &Canon{Perm: perm}, nil
+}

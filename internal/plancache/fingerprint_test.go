@@ -1,0 +1,403 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func fingerprintEnv(t *testing.T) ([]platform.ID, *platform.Availability) {
+	t.Helper()
+	plats := platform.Subset(3)
+	return plats, platform.DefaultAvailability().Restrict(plats)
+}
+
+// permute relabels a plan's operators: new ID of old operator i is perm[i].
+// The result is structurally identical, only the labels (and hence slice
+// positions) differ.
+func permute(t *testing.T, l *plan.Logical, perm []int) *plan.Logical {
+	t.Helper()
+	if len(perm) != len(l.Ops) {
+		t.Fatalf("perm covers %d ops, plan has %d", len(perm), len(l.Ops))
+	}
+	ops := make([]*plan.Operator, len(l.Ops))
+	cards := map[plan.OpID]float64{}
+	for _, o := range l.Ops {
+		no := &plan.Operator{
+			ID:          plan.OpID(perm[o.ID]),
+			Kind:        o.Kind,
+			Name:        o.Name,
+			UDF:         o.UDF,
+			Selectivity: o.Selectivity,
+			LoopID:      o.LoopID,
+		}
+		for _, p := range o.In {
+			no.In = append(no.In, plan.OpID(perm[p]))
+		}
+		for _, c := range o.Out {
+			no.Out = append(no.Out, plan.OpID(perm[c]))
+		}
+		ops[perm[o.ID]] = no
+	}
+	for id, c := range l.SourceCards {
+		cards[plan.OpID(perm[id])] = c
+	}
+	out := &plan.Logical{
+		Ops:           ops,
+		Loops:         l.Loops,
+		SourceCards:   cards,
+		AvgTupleBytes: l.AvgTupleBytes,
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("permuted plan does not validate: %v", err)
+	}
+	return out
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	plats, avail := fingerprintEnv(t)
+	l := workload.RunningExample()
+	fp1, c1, err := Compute(l, plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		fp2, c2, err := Compute(l, plats, avail, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("run %d: fingerprint differs: %s vs %s", i, fp1, fp2)
+		}
+		for id := range c1.Perm {
+			if c1.Perm[id] != c2.Perm[id] {
+				t.Fatalf("run %d: canonical permutation differs at op %d", i, id)
+			}
+		}
+	}
+	if len(fp1.String()) != 64 || len(fp1.Short()) != 12 {
+		t.Fatalf("unexpected hex lengths: %d, %d", len(fp1.String()), len(fp1.Short()))
+	}
+}
+
+func TestFingerprintPermIsPermutation(t *testing.T) {
+	plats, avail := fingerprintEnv(t)
+	l := workload.RunningExample()
+	_, canon, err := Compute(l, plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.NumOps() != len(l.Ops) {
+		t.Fatalf("canon covers %d ops, plan has %d", canon.NumOps(), len(l.Ops))
+	}
+	seen := make([]bool, canon.NumOps())
+	for id, ci := range canon.Perm {
+		if ci < 0 || ci >= canon.NumOps() {
+			t.Fatalf("op %d maps to out-of-range canonical index %d", id, ci)
+		}
+		if seen[ci] {
+			t.Fatalf("canonical index %d assigned twice", ci)
+		}
+		seen[ci] = true
+	}
+}
+
+func TestFingerprintIDInvariance(t *testing.T) {
+	plats, avail := fingerprintEnv(t)
+	l := workload.RunningExample()
+	fpA, canonA, err := Compute(l, plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{
+		{8, 7, 6, 5, 4, 3, 2, 1, 0}, // full reversal
+		{3, 0, 5, 1, 7, 2, 8, 4, 6}, // arbitrary shuffle
+		{1, 0, 2, 3, 4, 5, 6, 7, 8}, // swap two sources' subtree heads
+	}
+	for pi, perm := range perms {
+		lp := permute(t, l, perm)
+		fpB, canonB, err := Compute(lp, plats, avail, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fpA != fpB {
+			t.Fatalf("perm %d: relabeled plan changed the fingerprint: %s vs %s", pi, fpA.Short(), fpB.Short())
+		}
+		// Old op i and its relabeled twin perm[i] must land on the same
+		// canonical index — that is what lets a requester remap a cached
+		// canonical assignment onto its own IDs.
+		for i := range canonA.Perm {
+			if canonA.Perm[i] != canonB.Perm[perm[i]] {
+				t.Fatalf("perm %d: op %d maps to canonical %d but its twin maps to %d",
+					pi, i, canonA.Perm[i], canonB.Perm[perm[i]])
+			}
+		}
+	}
+}
+
+func TestFingerprintLoopInvariance(t *testing.T) {
+	plats := platform.Subset(3)
+	avail := platform.UniformAvailability(3)
+	build := func() *plan.Logical {
+		b := plan.NewBuilder(100)
+		src := b.Source(platform.TextFileSource, "src", 1e6)
+		m1 := b.Add(platform.Map, "iterate", platform.Linear, 1, src)
+		m2 := b.Add(platform.Map, "update", platform.Quadratic, 1, m1)
+		b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, m2)
+		b.Loop(10, m1, m2)
+		return b.MustBuild()
+	}
+	l := build()
+	fpA, canonA, err := Compute(l, plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{3, 1, 0, 2}
+	lp := permute(t, l, perm)
+	fpB, canonB, err := Compute(lp, plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA != fpB {
+		t.Fatalf("relabeled looped plan changed the fingerprint")
+	}
+	for i := range canonA.Perm {
+		if canonA.Perm[i] != canonB.Perm[perm[i]] {
+			t.Fatalf("op %d canonical index mismatch after relabeling", i)
+		}
+	}
+
+	// Changing the iteration count must change the fingerprint.
+	b := plan.NewBuilder(100)
+	src := b.Source(platform.TextFileSource, "src", 1e6)
+	m1 := b.Add(platform.Map, "iterate", platform.Linear, 1, src)
+	m2 := b.Add(platform.Map, "update", platform.Quadratic, 1, m1)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, m2)
+	b.Loop(20, m1, m2)
+	fpC, _, err := Compute(b.MustBuild(), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpC == fpA {
+		t.Fatal("doubling loop iterations did not change the fingerprint")
+	}
+}
+
+func chainPlan(card, sel float64) *plan.Logical {
+	b := plan.NewBuilder(100)
+	src := b.Source(platform.TextFileSource, "src", card)
+	f := b.Add(platform.Filter, "f", platform.Logarithmic, sel, src)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, f)
+	return b.MustBuild()
+}
+
+func TestFingerprintCardinalityBands(t *testing.T) {
+	plats := platform.Subset(2)
+	avail := platform.UniformAvailability(2)
+	fp := func(card float64, bands int) Fingerprint {
+		t.Helper()
+		f, _, err := Compute(chainPlan(card, 0.5), plats, avail, bands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// With 4 bands per decade: 1e6 and 1.5e6 share band 24; 2e6 is band 25.
+	if fp(1e6, 4) != fp(1.5e6, 4) {
+		t.Fatal("1e6 and 1.5e6 tuples should share a band at 4 bands/decade")
+	}
+	if fp(1e6, 4) == fp(2e6, 4) {
+		t.Fatal("1e6 and 2e6 tuples should fall in different bands at 4 bands/decade")
+	}
+	// Exact powers of ten sit on the band edge they open.
+	if fp(1e6, 4) == fp(999e3, 4) {
+		t.Fatal("a power of ten should open a new band, not close the previous one")
+	}
+	// Coarser banding merges within a decade but still splits decades.
+	if fp(1e6, 1) != fp(9e6, 1) {
+		t.Fatal("1e6 and 9e6 tuples should share a band at 1 band/decade")
+	}
+	if fp(1e6, 1) == fp(1e7, 1) {
+		t.Fatal("different decades should never share a band")
+	}
+	// Banding resolution is part of the encoding: same plan, different bands,
+	// different fingerprint.
+	if fp(1e6, 1) == fp(1e6, 4) {
+		t.Fatal("band resolution should be part of the fingerprint")
+	}
+	// Sub-single-tuple cardinalities collapse into band 0.
+	if fp(0.5, 4) != fp(1, 4) {
+		t.Fatal("cardinalities at or below one tuple should collapse into band 0")
+	}
+}
+
+func TestFingerprintAvailabilitySensitivity(t *testing.T) {
+	plats := platform.Subset(3)
+	uniform := platform.UniformAvailability(3)
+	restricted := uniform.Only(platform.Filter, plats[0])
+	l := workload.RunningExample()
+	fpU, _, err := Compute(l, plats, uniform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpR, _, err := Compute(l, plats, restricted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpU == fpR {
+		t.Fatal("restricting Filter availability should change the fingerprint")
+	}
+	// Platform universe is part of the encoding too.
+	fp2, _, err := Compute(l, platform.Subset(2), platform.UniformAvailability(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpU == fp2 {
+		t.Fatal("a different platform universe should change the fingerprint")
+	}
+}
+
+func TestFingerprintAnnotationSensitivity(t *testing.T) {
+	plats := platform.Subset(2)
+	avail := platform.UniformAvailability(2)
+	base, _, err := Compute(chainPlan(1e6, 0.5), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selectivity change.
+	other, _, err := Compute(chainPlan(1e6, 0.25), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == other {
+		t.Fatal("selectivity should be part of the fingerprint")
+	}
+	// UDF complexity change.
+	b := plan.NewBuilder(100)
+	src := b.Source(platform.TextFileSource, "src", 1e6)
+	f := b.Add(platform.Filter, "f", platform.Quadratic, 0.5, src)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, f)
+	udf, _, err := Compute(b.MustBuild(), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == udf {
+		t.Fatal("UDF complexity should be part of the fingerprint")
+	}
+	// Operator kind change.
+	b = plan.NewBuilder(100)
+	src = b.Source(platform.TextFileSource, "src", 1e6)
+	m := b.Add(platform.Map, "f", platform.Logarithmic, 0.5, src)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, m)
+	kind, _, err := Compute(b.MustBuild(), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == kind {
+		t.Fatal("operator kind should be part of the fingerprint")
+	}
+	// Tuple width change.
+	b = plan.NewBuilder(200)
+	src = b.Source(platform.TextFileSource, "src", 1e6)
+	f = b.Add(platform.Filter, "f", platform.Logarithmic, 0.5, src)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, f)
+	width, _, err := Compute(b.MustBuild(), plats, avail, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == width {
+		t.Fatal("average tuple width should be part of the fingerprint")
+	}
+}
+
+// TestFingerprintCollisions generates a family of structurally distinct plans
+// and checks that every one gets a distinct fingerprint: varying chain
+// length, operator kinds, selectivities, loop structure and cardinality
+// bands must all separate.
+func TestFingerprintCollisions(t *testing.T) {
+	plats := platform.Subset(3)
+	avail := platform.UniformAvailability(3)
+	seen := map[Fingerprint]string{}
+	check := func(desc string, l *plan.Logical) {
+		t.Helper()
+		fp, _, err := Compute(l, plats, avail, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision between %q and %q", prev, desc)
+		}
+		seen[fp] = desc
+	}
+	kinds := []platform.Kind{platform.Map, platform.Filter, platform.FlatMap, platform.Sort}
+	sels := []float64{0.1, 0.5, 0.9}
+	for length := 1; length <= 4; length++ {
+		for _, k := range kinds {
+			for _, sel := range sels {
+				b := plan.NewBuilder(100)
+				prev := b.Source(platform.TextFileSource, "src", 1e6)
+				for i := 0; i < length; i++ {
+					kk := platform.Map
+					if i == length-1 {
+						kk = k
+					}
+					prev = b.Add(kk, fmt.Sprintf("op%d", i), platform.Linear, sel, prev)
+				}
+				b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, prev)
+				check(fmt.Sprintf("chain len=%d kind=%s sel=%g", length, k, sel), b.MustBuild())
+			}
+		}
+	}
+	// Distinct cardinality bands.
+	for e := 0; e < 8; e++ {
+		card := 10.0
+		for i := 0; i < e; i++ {
+			card *= 10
+		}
+		check(fmt.Sprintf("card=1e%d", e+1), chainPlan(card, 0.5))
+	}
+	// Diamond vs chain with the same operator multiset.
+	b := plan.NewBuilder(100)
+	s1 := b.Source(platform.TextFileSource, "a", 1e6)
+	s2 := b.Source(platform.TextFileSource, "b", 1e6)
+	f1 := b.Add(platform.Filter, "fa", platform.Logarithmic, 0.5, s1)
+	f2 := b.Add(platform.Filter, "fb", platform.Logarithmic, 0.5, s2)
+	j := b.Add(platform.Join, "j", platform.Linear, 0.1, f1, f2)
+	b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, j)
+	check("diamond join", b.MustBuild())
+	// Looped variants.
+	for _, iters := range []int{2, 5, 50} {
+		b := plan.NewBuilder(100)
+		src := b.Source(platform.TextFileSource, "src", 1e6)
+		m := b.Add(platform.Map, "m", platform.Linear, 1, src)
+		b.Add(platform.CollectionSink, "sink", platform.Logarithmic, 1, m)
+		b.Loop(iters, m)
+		check(fmt.Sprintf("loop iters=%d", iters), b.MustBuild())
+	}
+	if len(seen) < 50 {
+		t.Fatalf("collision test exercised only %d plans; want a broader family", len(seen))
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	plats, avail := fingerprintEnv(t)
+	if _, _, err := Compute(nil, plats, avail, 0); err == nil {
+		t.Fatal("nil plan should fail")
+	}
+	if _, _, err := Compute(&plan.Logical{}, plats, avail, 0); err == nil {
+		t.Fatal("empty plan should fail")
+	}
+	l := workload.RunningExample()
+	if _, _, err := Compute(l, nil, avail, 0); err == nil {
+		t.Fatal("empty platform universe should fail")
+	}
+	if _, _, err := Compute(l, make([]platform.ID, 33), avail, 0); err == nil {
+		t.Fatal("more than 32 platforms should fail")
+	}
+	if _, _, err := Compute(l, plats, nil, 0); err == nil {
+		t.Fatal("nil availability should fail")
+	}
+}

@@ -59,6 +59,12 @@ type Retrainer struct {
 	// RetrainOnce itself deliberately does not take it: admin handlers call
 	// RetrainOnce while already holding that lock.
 	Gate sync.Locker
+	// OnSwap, when set, is called with the promoted artifact's version
+	// after every successful background promotion swap — the hook a plan
+	// cache uses to flash-invalidate entries scored by the previous model.
+	// It runs under the retrainer's internal mutex (and the Gate, for Run
+	// promotions), so it must not call back into the retrainer.
+	OnSwap func(version string)
 
 	// mu serializes retraining attempts end-to-end: concurrent callers (the
 	// Run loop and POST /modelz/retrain) must not train twice on the same
@@ -260,6 +266,9 @@ func (r *Retrainer) RetrainOnce() (Outcome, error) {
 	}
 	if _, err := r.Provider.Swap(art); err != nil {
 		return Outcome{}, err
+	}
+	if r.OnSwap != nil {
+		r.OnSwap(art.Version)
 	}
 	// Advance the watermark to the whole snapshot, not just the training
 	// rows: holdout rows the candidate never saw are also retired from

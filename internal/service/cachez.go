@@ -1,0 +1,59 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The /cachez endpoint pair is the plan cache's admin surface:
+//
+//   - GET  /cachez       — cache configuration and live statistics (entries,
+//     bytes, hit/miss/collapsed/eviction/invalidation counters, generation,
+//     active model version). Reports {"enabled": false} on servers without
+//     a cache.
+//   - POST /cachez/purge — drop every cached plan. Serialized behind the
+//     same admin mutex as /modelz mutations, so a purge cannot interleave
+//     with a promote's flash invalidation.
+
+// CachezResponse is the JSON reply of GET /cachez.
+type CachezResponse struct {
+	Enabled bool `json:"enabled"`
+	// Stats embeds the cache statistics when a cache is configured.
+	Stats any `json:"stats,omitempty"`
+}
+
+// PurgeResponse is the JSON reply of POST /cachez/purge.
+type PurgeResponse struct {
+	Purged int `json:"purged"`
+}
+
+func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodGet {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /cachez"))
+		return
+	}
+	if s.PlanCache == nil {
+		s.writeJSON(w, CachezResponse{Enabled: false})
+		return
+	}
+	s.writeJSON(w, CachezResponse{Enabled: true, Stats: s.PlanCache.Snapshot()})
+}
+
+func (s *Server) handleCachezPurge(w http.ResponseWriter, r *http.Request) {
+	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /cachez/purge"))
+		return
+	}
+	if s.PlanCache == nil {
+		s.fail(w, reqID, http.StatusConflict, errors.New("service: no plan cache configured (-cache-entries)"))
+		return
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	s.writeJSON(w, PurgeResponse{Purged: s.PlanCache.Purge()})
+}

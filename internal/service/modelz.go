@@ -132,6 +132,11 @@ func (s *Server) swapIn(art *registry.Artifact) (SwapResponse, error) {
 		return SwapResponse{}, err
 	}
 	s.Metrics().Counter("model_swaps_total").Inc()
+	// Flash-invalidate the plan cache: plans scored by the previous version
+	// must never serve requests resolved against the new one.
+	if s.PlanCache != nil {
+		s.PlanCache.Activate(art.Version)
+	}
 	return SwapResponse{Swapped: true, Version: art.Version, Previous: old.Version()}, nil
 }
 

@@ -21,6 +21,8 @@
 //   - GET /modelz, POST /modelz/reload, POST /modelz/promote,
 //     POST /modelz/retrain, GET /modelz/feedback — the model lifecycle admin
 //     surface (see modelz.go).
+//   - GET /cachez, POST /cachez/purge — the plan cache admin surface
+//     (see cachez.go).
 //   - /debug/pprof/ — the net/http/pprof profiling surface, mounted only
 //     when the server opts in (roboptd -pprof).
 //
@@ -48,6 +50,13 @@
 //   - feedback_samples_total — execution-feedback samples captured from
 //     simulate=1 requests
 //   - feedback_rejected_total — feedback samples dropped (width mismatch)
+//
+// Servers with a configured PlanCache additionally expose
+// plan_cache_hits_total, plan_cache_misses_total, plan_cache_evictions_total
+// (capacity and TTL evictions), plan_cache_collapsed_total (requests served
+// by another request's enumeration) and plan_cache_invalidations_total
+// (entries reclaimed after a model swap), plus the plan_cache_age_ms
+// histogram (entry age at hit time).
 //
 // Servers with a configured Retrainer additionally expose the retrain_*
 // counters, the retrain_ms histogram and the feedback_buffer_len /
@@ -80,10 +89,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/mlmodel"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/registry"
 	"repro/internal/simulator"
@@ -142,6 +153,15 @@ type Server struct {
 	// (requestId, status, latency, degradation, model version). Nil means
 	// no request logging.
 	Logger *slog.Logger
+	// PlanCache, when set, serves structurally repeated plans from a
+	// fingerprint-keyed cache instead of re-running the enumeration, and
+	// collapses concurrent identical requests into one run. Entries are
+	// keyed (fingerprint, modelVersion); every hot-swap through swapIn
+	// flash-invalidates stale versions. Responses gain an X-Cache header
+	// (hit, miss or collapsed) and the cachedAt/servedModelVersion fields;
+	// ?nocache=1 bypasses the cache for one request. GET /cachez inspects
+	// it and POST /cachez/purge empties it (see cachez.go).
+	PlanCache *plancache.Cache
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (roboptd
 	// -pprof). Off by default.
 	EnablePprof bool
@@ -225,8 +245,17 @@ type OptimizeResponse struct {
 	// OptimizationMs is the wall-clock optimization latency.
 	OptimizationMs float64 `json:"optimizationMs"`
 	// Trace inlines the run's span tree and pruning audit trail when the
-	// request asked for it with ?trace=1.
+	// request asked for it with ?trace=1. Cache hits carry no audit trail
+	// — the enumeration never ran.
 	Trace *core.RunTrace `json:"trace,omitempty"`
+	// CachedAt timestamps the cache entry that served this response
+	// (RFC 3339; present on cache hits and collapsed requests only).
+	CachedAt string `json:"cachedAt,omitempty"`
+	// ServedModelVersion names the model version that produced the served
+	// plan when it came from the cache. It always equals ModelVersion:
+	// entries are keyed by model version, so a swap can never pair a
+	// cached plan with a model that did not produce it.
+	ServedModelVersion string `json:"servedModelVersion,omitempty"`
 }
 
 // ConversionJSON is one conversion operator in the reply.
@@ -270,6 +299,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/modelz/retrain", s.handleModelzRetrain)
 	mux.HandleFunc("/modelz/feedback", s.handleModelzFeedback)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/cachez", s.handleCachez)
+	mux.HandleFunc("/cachez/purge", s.handleCachezPurge)
 	s.registerPprof(mux)
 	return mux
 }
@@ -332,6 +363,23 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	cctx.Budget = budget
 
+	// Fingerprint the plan up front when a cache is configured: the
+	// canonical hash is a few microseconds against the enumeration's
+	// milliseconds. ?nocache=1 is the per-request escape hatch, and a plan
+	// the fingerprinter rejects simply bypasses the cache.
+	useCache := s.PlanCache != nil && r.URL.Query().Get("nocache") != "1"
+	var (
+		fp    plancache.Fingerprint
+		canon *plancache.Canon
+	)
+	if useCache {
+		var fpErr error
+		fp, canon, fpErr = plancache.Compute(l, s.Platforms, s.Avail, s.PlanCache.BandsPerDecade())
+		if fpErr != nil {
+			useCache = false
+		}
+	}
+
 	// The request ID doubles as the trace ID. A configured tracer records
 	// every request and decides retention at the end (tail-based sampling);
 	// ?trace=1 additionally forces retention and inlines the trace in the
@@ -363,7 +411,53 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := p.Get()
-	res, err := cctx.OptimizeProvider(ctx, snap)
+	if useCache {
+		if cp, ok := s.PlanCache.Get(fp, snap.Version()); ok {
+			if s.serveCached(w, r, reqID, start, l, cp, canon, snap.Version(), tr, wantTrace, "hit") {
+				return
+			}
+			// A cached assignment that fails to materialize against this
+			// plan (a banding artifact) falls through to the full run.
+		}
+	}
+
+	var res *core.Result
+	if useCache {
+		// Singleflight: concurrent identical (fingerprint, version)
+		// requests run one enumeration. The leader optimizes under its own
+		// ctx and publishes the result; followers wait under theirs and
+		// serve the shared plan as "collapsed".
+		var cp *plancache.CachedPlan
+		var followed bool
+		cp, followed, err = s.PlanCache.Do(ctx, fp, snap.Version(), func() (*plancache.CachedPlan, error) {
+			lr, lerr := cctx.OptimizeProvider(ctx, snap)
+			if lerr != nil {
+				return nil, lerr
+			}
+			res = lr
+			ncp, cerr := plancache.FromResult(fp, canon, snap.Version(), lr)
+			if cerr != nil {
+				// Still a successful optimization: serve it, cache nothing.
+				return nil, nil
+			}
+			// Degraded plans are budget artifacts of one moment, not the
+			// enumeration optimum — never cache them.
+			if !lr.Degraded {
+				s.PlanCache.Put(ncp)
+			}
+			return ncp, nil
+		})
+		if followed && err == nil {
+			if cp != nil && s.serveCached(w, r, reqID, start, l, cp, canon, snap.Version(), tr, wantTrace, "collapsed") {
+				return
+			}
+			// The leader's result does not fit this request's plan; run
+			// the enumeration ourselves.
+			res, err = cctx.OptimizeProvider(ctx, snap)
+		}
+	} else {
+		res, err = cctx.OptimizeProvider(ctx, snap)
+	}
 	if err != nil {
 		tr.SetError(err.Error())
 		s.Tracer.Finish(tr, wantTrace, "")
@@ -453,6 +547,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			"predictedSec", res.Predicted)
 	}
 
+	if useCache {
+		w.Header().Set("X-Cache", "miss")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// The plan was computed but the client will not see it (usually a
@@ -464,6 +561,95 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.Metrics().Counter("encode_failures_total").Inc()
 		s.Metrics().Counter("failures_total").Inc()
 	}
+}
+
+// serveCached writes the response for a request served without its own
+// enumeration: from the plan cache (how = "hit") or from a collapsed
+// concurrent run (how = "collapsed"). The cached canonical assignment is
+// rematerialized against this request's plan, so conversions and their
+// cardinalities come from the plan itself, byte-identical to the uncached
+// path. Stats are zero — no enumeration work happened. Returns false, with
+// nothing written, when the cached plan does not fit the request's plan (a
+// cross-plan banding artifact); the caller then runs the full optimization.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, reqID string, start time.Time, l *plan.Logical, cp *plancache.CachedPlan, canon *plancache.Canon, version string, tr *obs.Trace, wantTrace bool, how string) bool {
+	x, err := cp.Materialize(l, canon, s.Platforms)
+	if err != nil {
+		return false
+	}
+	// A cache hit is a one-span trace: the lookup is the whole story — no
+	// vectorize/enumerate/prune spans, because none of that ran.
+	sp := tr.StartSpan(nil, "cache")
+	sp.SetStr("result", how)
+	sp.SetStr("fingerprint", cp.Fingerprint.Short())
+	sp.SetStr("modelVersion", cp.ModelVersion)
+	sp.SetFloat("age_ms", float64(time.Since(cp.CachedAt).Microseconds())/1000)
+	sp.End()
+	s.Tracer.Finish(tr, wantTrace, "")
+
+	resp := OptimizeResponse{
+		RequestID:           reqID,
+		ModelVersion:        version,
+		ServedModelVersion:  cp.ModelVersion,
+		CachedAt:            cp.CachedAt.UTC().Format(time.RFC3339Nano),
+		PredictedRuntimeSec: cp.Predicted,
+		StageMs:             map[string]float64{},
+		OptimizationMs:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, p := range x.Assign {
+		resp.Assignments = append(resp.Assignments, p.String())
+	}
+	for _, conv := range x.Conversions {
+		resp.Conversions = append(resp.Conversions, ConversionJSON{
+			Name:     conv.Name(),
+			AfterOp:  int(conv.AfterOp),
+			BeforeOp: int(conv.BeforeOp),
+			Tuples:   conv.Card,
+		})
+	}
+	if r.URL.Query().Get("simulate") == "1" && s.Cluster != nil {
+		run := s.Cluster.Run(x)
+		resp.SimulatedRuntimeSec = run.Runtime
+		resp.SimulatedLabel = run.Label()
+		// Cache hits still contribute execution feedback: the cached plan
+		// vector pairs with this run's observed runtime.
+		if s.Feedback != nil && len(cp.VectorF) > 0 && !run.Failed() {
+			if err := s.Feedback.Add(cp.VectorF, run.Runtime); err != nil {
+				s.Metrics().Counter("feedback_rejected_total").Inc()
+			} else {
+				s.Metrics().Counter("feedback_samples_total").Inc()
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.TotalMs += resp.OptimizationMs
+	s.mu.Unlock()
+	m := s.Metrics()
+	m.Counter("requests_total").Inc()
+	m.Counter("model_requests_" + resp.ModelVersion).Inc()
+	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
+	if s.Logger != nil {
+		s.Logger.Info("optimize",
+			"requestId", reqID,
+			"status", http.StatusOK,
+			"ms", resp.OptimizationMs,
+			"modelVersion", resp.ModelVersion,
+			"cache", how,
+			"predictedSec", resp.PredictedRuntimeSec)
+	}
+
+	w.Header().Set("X-Cache", how)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.mu.Lock()
+		s.stats.Failures++
+		s.stats.LastError = err.Error()
+		s.mu.Unlock()
+		m.Counter("encode_failures_total").Inc()
+		m.Counter("failures_total").Inc()
+	}
+	return true
 }
 
 // record feeds one successful optimization into the metric registry.
@@ -533,6 +719,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"degraded":         s.stats.Degraded,
 		"avgMs":            avg,
 		"lastError":        s.stats.LastError,
+		"buildVersion":     buildinfo.Version(),
+		"goVersion":        buildinfo.GoVersion(),
 	})
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mlmodel"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/simulator"
 	"repro/internal/tdgen"
@@ -79,6 +80,15 @@ type (
 	// SeedQuery is a user workload query the training data generator can
 	// mimic (TDGen generation option (i)).
 	SeedQuery = tdgen.SeedQuery
+	// PlanCache caches optimization results keyed by a canonical
+	// structural fingerprint of the plan; see NewPlanCache and
+	// Optimizer.Cache.
+	PlanCache = plancache.Cache
+	// PlanCacheConfig configures a PlanCache (capacity, TTL, sharding,
+	// cardinality banding).
+	PlanCacheConfig = plancache.Config
+	// PlanFingerprint is the canonical structural hash of a plan.
+	PlanFingerprint = plancache.Fingerprint
 )
 
 // Platforms.
@@ -234,6 +244,25 @@ type Optimizer struct {
 	// wall-clock). The zero value is unlimited. On exhaustion the run
 	// degrades gracefully and flags Result.Degraded instead of erroring.
 	Budget Budget
+
+	// Cache, when set, serves structurally repeated plans without
+	// re-running the enumeration (Result.FromCache reports a hit). Share
+	// one cache across optimizers only if they use the same platform
+	// universe and availability matrix.
+	Cache *PlanCache
+}
+
+// NewPlanCache returns a bounded plan cache for Optimizer.Cache (and for
+// embedded service.Server instances).
+func NewPlanCache(cfg PlanCacheConfig) *PlanCache { return plancache.New(cfg) }
+
+// FingerprintPlan returns the canonical structural fingerprint of p under
+// the given platform universe and availability matrix, with source
+// cardinalities bucketed into bandsPerDecade log-scale bands per decade
+// (0 means the default of 4).
+func FingerprintPlan(p *Plan, platforms []Platform, avail *Availability, bandsPerDecade int) (PlanFingerprint, error) {
+	fp, _, err := plancache.Compute(p, platforms, avail, bandsPerDecade)
+	return fp, err
 }
 
 // Train generates training data with TDGen on the simulated cluster, fits
@@ -297,8 +326,12 @@ type Result struct {
 	// Degraded reports that the optimizer's Budget was exhausted and the
 	// plan is best-effort rather than enumeration-optimal.
 	Degraded bool
-	// Stats counts the enumeration work performed.
+	// Stats counts the enumeration work performed. Zero when the result
+	// came from the cache.
 	Stats Stats
+	// FromCache reports that the plan was served from Optimizer.Cache
+	// without running the enumeration.
+	FromCache bool
 }
 
 // Optimize returns the cheapest execution plan for the logical plan
@@ -321,9 +354,27 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, p *Plan) (*Result, erro
 	}
 	c.Workers = o.Workers
 	c.Budget = o.Budget
+	var (
+		fp    PlanFingerprint
+		canon *plancache.Canon
+	)
+	if o.Cache != nil {
+		if fp, canon, err = plancache.Compute(p, o.platforms, o.avail, o.Cache.BandsPerDecade()); err == nil {
+			if cp, ok := o.Cache.Get(fp, o.Cache.ActiveVersion()); ok {
+				if x, merr := cp.Materialize(p, canon, o.platforms); merr == nil {
+					return &Result{Execution: x, PredictedRuntime: cp.Predicted, FromCache: true}, nil
+				}
+			}
+		}
+	}
 	res, err := c.Optimize(ctx, o.model)
 	if err != nil {
 		return nil, err
+	}
+	if o.Cache != nil && canon != nil && !res.Degraded {
+		if cp, cerr := plancache.FromResult(fp, canon, o.Cache.ActiveVersion(), res); cerr == nil {
+			o.Cache.Put(cp)
+		}
 	}
 	return &Result{Execution: res.Execution, PredictedRuntime: res.Predicted, Degraded: res.Degraded, Stats: res.Stats}, nil
 }

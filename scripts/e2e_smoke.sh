@@ -30,6 +30,10 @@ jget() { python3 -c "import json,sys; d=json.load(open('$1')); print($2)"; }
 say "building binaries"
 go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd
 
+say "checking -version output"
+"$WORK/robopt" -version | grep -q '^robopt ' || die "robopt -version"
+"$WORK/roboptd" -version | grep -q '^roboptd ' || die "roboptd -version"
+
 say "generating training data (two draws, second appended)"
 "$WORK/tdgen" -templates 2 -plans 4 -profiles 4 -max-ops 12 -platforms 3 \
   -o "$WORK/train.csv" 2>/dev/null
@@ -57,7 +61,7 @@ for i in $(seq 1 50); do
 done
 
 say "optimizing under the boot model (v1)"
-curl -sf -XPOST --data-binary @"$WORK/query.json" \
+curl -sf -D "$WORK/resp1.h" -XPOST --data-binary @"$WORK/query.json" \
   "$BASE/optimize?simulate=1" > "$WORK/resp1.json"
 [ "$(jget "$WORK/resp1.json" "d['modelVersion']")" = "v1" ] \
   || die "first response not scored by v1: $(cat "$WORK/resp1.json")"
@@ -67,6 +71,36 @@ curl -sf -XPOST --data-binary @"$WORK/query.json" \
   || die "no assignments in response"
 [ "$(jget "$WORK/resp1.json" "d['simulatedRuntimeSec'] > 0")" = "True" ] \
   || die "simulate=1 produced no runtime"
+grep -qi '^x-cache: miss' "$WORK/resp1.h" \
+  || die "first optimize was not a cache miss"
+
+say "repeating the identical request (cache hit)"
+curl -sf -D "$WORK/hit.h" -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize" > "$WORK/hit.json"
+grep -qi '^x-cache: hit' "$WORK/hit.h" \
+  || die "identical request was not served from the cache"
+[ "$(jget "$WORK/hit.json" "d['servedModelVersion']")" = "v1" ] \
+  || die "cache hit not labeled with the producing model version"
+[ "$(jget "$WORK/hit.json" "d['stats']['modelRows']")" = "0" ] \
+  || die "cache hit ran the model"
+[ "$(jget "$WORK/hit.json" "bool(d['cachedAt'])")" = "True" ] \
+  || die "cache hit carries no cachedAt"
+python3 - "$WORK/resp1.json" "$WORK/hit.json" <<'PY' || die "cached plan differs from the uncached one"
+import json, sys
+a, b = (json.load(open(f)) for f in sys.argv[1:3])
+assert a["assignments"] == b["assignments"], "assignments differ"
+assert a.get("conversions") == b.get("conversions"), "conversions differ"
+assert a["predictedRuntimeSec"] == b["predictedRuntimeSec"], "prediction differs"
+PY
+
+say "inspecting /cachez"
+curl -sf "$BASE/cachez" > "$WORK/cachez.json"
+[ "$(jget "$WORK/cachez.json" "d['enabled']")" = "True" ] \
+  || die "/cachez reports the cache disabled"
+[ "$(jget "$WORK/cachez.json" "d['stats']['hits'] >= 1")" = "True" ] \
+  || die "/cachez shows no hits"
+[ "$(jget "$WORK/cachez.json" "d['stats']['activeVersion']")" = "v1" ] \
+  || die "/cachez active version is not v1"
 
 say "promoting a copied-in artifact as v2"
 cp "$WORK/artifact2.json" "$WORK/store/v2.json"
@@ -74,13 +108,15 @@ curl -sf -XPOST "$BASE/modelz/promote?version=v2" > "$WORK/promote.json"
 [ "$(jget "$WORK/promote.json" "d['swapped']")" = "True" ] \
   || die "promote did not swap: $(cat "$WORK/promote.json")"
 
-say "verifying the version bump on the next request"
-curl -sf -XPOST --data-binary @"$WORK/query.json" \
+say "verifying the version bump (and cache invalidation) on the next request"
+curl -sf -D "$WORK/resp2.h" -XPOST --data-binary @"$WORK/query.json" \
   "$BASE/optimize" > "$WORK/resp2.json"
 [ "$(jget "$WORK/resp2.json" "d['modelVersion']")" = "v2" ] \
   || die "response after promote not scored by v2: $(cat "$WORK/resp2.json")"
 [ "$(jget "$WORK/resp2.json" "d.get('degraded', False)")" = "False" ] \
   || die "plan degraded after promote"
+grep -qi '^x-cache: miss' "$WORK/resp2.h" \
+  || die "promote did not invalidate the cached v1 plan (stale hit)"
 
 say "reload is idempotent once v2 is active"
 curl -sf -XPOST "$BASE/modelz/reload" > "$WORK/reload.json"
@@ -95,6 +131,12 @@ curl -sf "$BASE/metricz" > "$WORK/metricz.json"
   || die "feedback_samples_total not incremented"
 [ "$(jget "$WORK/metricz.json" "d['counters'].get('model_requests_v1', 0) >= 1 and d['counters'].get('model_requests_v2', 0) >= 1")" = "True" ] \
   || die "per-version request counters missing"
+[ "$(jget "$WORK/metricz.json" "d['counters']['plan_cache_hits_total'] >= 1")" = "True" ] \
+  || die "plan_cache_hits_total not incremented"
+[ "$(jget "$WORK/metricz.json" "d['counters']['plan_cache_misses_total'] >= 2")" = "True" ] \
+  || die "plan_cache_misses_total not incremented"
+[ "$(jget "$WORK/metricz.json" "d['counters']['plan_cache_invalidations_total'] >= 1")" = "True" ] \
+  || die "plan_cache_invalidations_total not incremented by the promote"
 
 say "checking /modelz store state"
 curl -sf "$BASE/modelz" > "$WORK/modelz.json"
@@ -104,8 +146,9 @@ curl -sf "$BASE/modelz" > "$WORK/modelz.json"
   || die "store ACTIVE marker not moved to v2"
 
 say "tracing an optimization and reading it back from /tracez"
+# nocache=1: a cache hit is a one-span trace with no pruning audit.
 curl -sf -XPOST --data-binary @"$WORK/query.json" \
-  "$BASE/optimize?trace=1" > "$WORK/traced.json"
+  "$BASE/optimize?trace=1&nocache=1" > "$WORK/traced.json"
 TRACE_ID="$(jget "$WORK/traced.json" "d['requestId']")"
 [ "$(jget "$WORK/traced.json" "len(d['trace']['prunes']) > 0")" = "True" ] \
   || die "?trace=1 response carries no pruning audit"
@@ -135,9 +178,22 @@ grep -Eq '^requests_total [0-9]+$' "$WORK/metricz.prom" \
   || die "prometheus exposition lacks a requests_total sample"
 grep -q '^optimize_ms_bucket{le="+Inf"}' "$WORK/metricz.prom" \
   || die "prometheus exposition lacks the optimize_ms +Inf bucket"
+grep -Eq '^plan_cache_hits_total [0-9]+$' "$WORK/metricz.prom" \
+  || die "prometheus exposition lacks plan_cache_hits_total"
+grep -Eq '^plan_cache_misses_total [0-9]+$' "$WORK/metricz.prom" \
+  || die "prometheus exposition lacks plan_cache_misses_total"
 
 say "pprof stays off by default"
 [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")" = "404" ] \
   || die "/debug/pprof/ reachable without -pprof"
+
+say "graceful shutdown on SIGTERM"
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+[ "$RC" = "0" ] || die "roboptd exited $RC on SIGTERM (expected a clean drain)"
+grep -q "drained cleanly" "$WORK/roboptd.log" \
+  || die "roboptd log has no drain confirmation"
+DAEMON_PID=""
 
 echo "PASS: model lifecycle + observability smoke test"
