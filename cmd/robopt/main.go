@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -55,6 +56,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "abort the optimization after this long (0 = none); combine with -budget-* to degrade instead")
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
 		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism (plans are identical for any value)")
 		example   = flag.Bool("print-example-plan", false, "print the paper's running-example logical plan as JSON and exit")
 		explain   = flag.String("explain", "", "trace the optimization and print an explanation report: text or json (multi mode only)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -194,6 +196,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		ctx.Workers = *workers
 		ctx.Budget = core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC}
 		if *deadline > 0 {
 			// Degrade before the hard deadline so -deadline alone still

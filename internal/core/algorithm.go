@@ -1,13 +1,13 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -155,37 +155,6 @@ type enumNode struct {
 	prio float64
 	tie  int // fewer new boundary operators wins on equal priority
 	seq  int // insertion order breaks remaining ties
-	idx  int // heap index
-}
-
-type nodeHeap []*enumNode
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
-	}
-	if h[i].tie != h[j].tie {
-		return h[i].tie < h[j].tie
-	}
-	return h[i].seq < h[j].seq
-}
-func (h nodeHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *nodeHeap) Push(x any) {
-	n := x.(*enumNode)
-	n.idx = len(*h)
-	*h = append(*h, n)
-}
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	*h = old[:len(old)-1]
-	return n
 }
 
 // mergeBlock and pruneBlock are the cooperative-cancellation granularities
@@ -203,11 +172,21 @@ const (
 // each, and concatenates enumerations in priority order, pruning after every
 // child concatenation.
 //
-// ctx is checked at every heap-pop, before every concatenation, and inside
-// the parallel merge loop; a cancelled context returns ctx.Err(). The
-// Context's Budget is enforced here: when a dimension is exhausted the
+// Concatenations are scheduled in rounds over a worker pool (see
+// schedule.go): each round freezes the priorities, selects the
+// highest-priority pairwise-disjoint boundary tasks, fans them out across
+// Context.Workers goroutines with work stealing, and reduces the results in
+// task-selection order. The schedule and reduction order are computed
+// serially, so the final enumeration, Stats.Counters() and the pruning audit
+// trail are bit-identical for any Workers setting.
+//
+// ctx is checked at every round, before every concatenation, and inside the
+// parallel merge and inference loops; a cancelled context returns ctx.Err().
+// The Context's Budget is enforced here: when a dimension is exhausted the
 // remaining concatenations run in degraded mode (see Budget) and st.Degraded
-// is set instead of returning an error.
+// is set instead of returning an error. Count caps are rebased at each round
+// barrier — a trip on one task degrades all tasks from the next round on —
+// so degraded runs also stay deterministic across worker counts.
 func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolicy, st *Stats) (*Enumeration, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -237,138 +216,94 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 	enumStart := time.Now()
 	espan := c.span(c.root, "enumerate")
 	owner := make([]*enumNode, n)
-	h := make(nodeHeap, 0, len(singles))
+	nodes := make([]*enumNode, 0, len(singles))
 	seq := 0
 	for _, a := range singles {
 		id := a.Scope.IDs()[0]
-		node := &enumNode{e: c.enumerateSingleton(id, st), seq: seq, idx: len(h)}
+		node := &enumNode{e: c.enumerateSingleton(id, st), seq: seq}
 		seq++
 		owner[id] = node
-		h = append(h, node)
+		nodes = append(nodes, node)
 	}
-	for _, node := range h {
-		c.setPriority(node, owner, order)
-	}
-	heap.Init(&h)
 	espan.SetInt("vectors", int64(st.VectorsCreated)).End()
 	st.Timings.Enumerate += time.Since(enumStart)
 
-	budget := c.Budget
 	degraded := false
-	deferred := 0
 	step := 0
-	// Lines 6-17: concatenate by priority until one enumeration remains.
-	for len(h) > 1 {
+	// Lines 6-17: concatenate by priority until one enumeration remains,
+	// one scheduling round at a time.
+	for len(nodes) > 1 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		node := heap.Pop(&h).(*enumNode)
-		children := c.childrenOf(node, owner)
-		if len(children) == 0 {
-			// Nothing downstream to concatenate with: park the node
-			// until an upstream enumeration absorbs it.
-			deferred++
-			if deferred > len(h)+1 {
-				return nil, fmt.Errorf("core: plan is not weakly connected; enumeration cannot converge")
-			}
-			node.prio = math.Inf(-1)
-			heap.Push(&h, node)
-			continue
+		tasks := c.selectRound(nodes, owner, order, &step)
+		if len(tasks) == 0 {
+			// Every live enumeration is childless: the plan has more than
+			// one weakly-connected component.
+			return nil, fmt.Errorf("core: plan is not weakly connected; enumeration cannot converge")
 		}
-		deferred = 0
-		cur := node.e
-		for _, child := range children {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		round := st.Par.Rounds
+		st.Par.Rounds++
+		st.Par.Tasks += len(tasks)
+		var rspan *obs.Span
+		if c.rt != nil {
+			rspan = c.span(c.root, "round")
+			rspan.SetInt("round", int64(round)).SetInt("tasks", int64(len(tasks)))
+			for _, t := range tasks {
+				t.span = c.Trace.StartSpan(rspan, "task")
+				t.span.SetInt("scope", int64(t.node.e.Scope.Count())).
+					SetInt("children", int64(len(t.children)))
 			}
-			wasDegraded := degraded
-			if !degraded {
-				// The projected concatenation size trips the budget
-				// before the cartesian product is materialized, so a
-				// single adversarial merge cannot blow past MaxVectors.
-				projected := len(cur.Vectors) * len(child.e.Vectors)
-				if reason := budget.exhausted(st, start, projected); reason != "" {
-					degraded = true
-					st.Degraded = true
-					st.DegradeReason = reason
+		}
+		base := *st
+		c.runRound(ctx, pr, tasks, degraded, start, base, st)
+		rspan.End()
+		for _, t := range tasks {
+			if t.err != nil {
+				return nil, t.err
+			}
+		}
+		// Deterministic reduction: fold the task results into the shared
+		// frontier in task-selection order — stats, memo entries, audit
+		// records, and the merged enumerations' ownership.
+		consumed := make(map[*enumNode]bool, 2*len(tasks))
+		merged := make([]*enumNode, 0, len(tasks))
+		for _, t := range tasks {
+			st.merge(&t.st)
+			if t.st.Degraded {
+				degraded = true
+			}
+			if len(t.tc.memo) > 0 {
+				if c.memo == nil {
+					c.memo = make(map[string]float64, len(t.tc.memo))
+				}
+				for k, v := range t.tc.memo {
+					c.memo[k] = v
 				}
 			}
-			if degraded {
-				truncateCheapest(cur, budget.cap(), st)
-				truncateCheapest(child.e, budget.cap(), st)
-			}
-			pairs := Iterate(cur, child.e)
-			info := c.MergeInfo(cur, child.e)
-			merged := c.arenaEnum(cur.Scope.Union(child.e.Scope), len(pairs))
-			mspan := c.span(c.root, "merge")
-			mspan.SetInt("step", int64(step)).SetInt("left", int64(len(cur.Vectors))).
-				SetInt("right", int64(len(child.e.Vectors))).SetInt("pairs", int64(len(pairs)))
-			if degraded && !wasDegraded {
-				// The budget tripped on this very concatenation: the audit
-				// trail marks where the run left the lossless regime.
-				mspan.SetStr("budgetExhausted", st.DegradeReason)
-			}
-			mergeStart := time.Now()
-			// Merge is a pure function of its two inputs, so the
-			// cartesian product fans out across workers writing into
-			// disjoint arena rows; chunked writes keep the vector
-			// order deterministic.
-			err := parallelForCtx(ctx, len(pairs), c.Workers, mergeBlock, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					c.mergeInto(merged.Vectors[i], pairs[i][0], pairs[i][1], info, nil)
-				}
-			})
-			st.Timings.Merge += time.Since(mergeStart)
-			mspan.End()
-			if err != nil {
-				return nil, err
-			}
-			st.Merges += len(pairs)
-			st.VectorsCreated += len(pairs)
-			merged.Boundary = c.boundaryOf(merged.Scope)
-			st.observe(len(merged.Vectors))
-			pspan := c.span(c.root, "prune")
 			if c.rt != nil {
-				c.curRec = c.rt.beginPrune(step, merged)
-				c.curRec.Degraded = degraded
-				c.curSpan = pspan
+				c.rt.Prunes = append(c.rt.Prunes, t.tc.rt.Prunes...)
 			}
-			pruneStart := time.Now()
-			pr.Prune(ctx, c, merged, st)
-			st.Timings.Prune += time.Since(pruneStart)
-			if c.rt != nil {
-				rec := c.curRec
-				c.rt.endPrune(rec, merged, degraded)
-				pspan.SetInt("step", int64(step)).SetInt("vectors_in", int64(rec.VectorsIn)).
-					SetInt("vectors_out", int64(rec.VectorsOut)).SetInt("model_rows", int64(rec.ModelRows)).
-					SetInt("memo_hits", int64(rec.MemoHits))
-				c.curRec, c.curSpan = nil, nil
+			node := &enumNode{e: t.result, seq: seq}
+			seq++
+			for _, id := range t.result.Scope.IDs() {
+				owner[id] = node
 			}
-			pspan.End()
-			step++
-			if err := ctx.Err(); err != nil {
-				return nil, err
+			merged = append(merged, node)
+			consumed[t.node] = true
+			for _, ch := range t.children {
+				consumed[ch] = true
 			}
-			if degraded {
-				truncateCheapest(merged, budget.cap(), st)
-			}
-			heap.Remove(&h, child.idx)
-			cur = merged
 		}
-		newNode := &enumNode{e: cur, seq: seq}
-		seq++
-		for _, id := range cur.Scope.IDs() {
-			owner[id] = newNode
+		live := nodes[:0]
+		for _, nd := range nodes {
+			if !consumed[nd] {
+				live = append(live, nd)
+			}
 		}
-		c.setPriority(newNode, owner, order)
-		heap.Push(&h, newNode)
-		// Line 17: update the priorities of the parents of the new node.
-		for _, p := range c.parentsOf(newNode, owner) {
-			c.setPriority(p, owner, order)
-			heap.Fix(&h, p.idx)
-		}
+		nodes = append(live, merged...)
 	}
-	return h[0].e, nil
+	return nodes[0].e, nil
 }
 
 // childrenOf returns the distinct enumerations downstream-adjacent to node
@@ -388,22 +323,6 @@ func (c *Context) childrenOf(node *enumNode, owner []*enumNode) []*enumNode {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
-	return out
-}
-
-// parentsOf returns the distinct enumerations upstream-adjacent to node.
-func (c *Context) parentsOf(node *enumNode, owner []*enumNode) []*enumNode {
-	seen := map[*enumNode]bool{node: true}
-	var out []*enumNode
-	for _, id := range node.e.Scope.IDs() {
-		for _, nb := range c.Plan.Op(id).In {
-			o := owner[nb]
-			if !seen[o] {
-				seen[o] = true
-				out = append(out, o)
-			}
-		}
-	}
 	return out
 }
 

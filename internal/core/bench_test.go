@@ -7,11 +7,13 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/plan"
 	"repro/internal/platform"
 	"repro/internal/vecops"
+	"repro/internal/workload"
 )
 
 func benchContext(b *testing.B, nOps, nPlats int) *Context {
@@ -209,6 +211,41 @@ func BenchmarkParallelEnumeration(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelEnumerate measures the full optimization with the worker
+// pool sized to GOMAXPROCS, so one `go test -cpu 1,2,4,8` run sweeps the
+// scaling curve (CI's -cpu matrix leg does exactly that; BENCH_parallel.json
+// records a snapshot). Two shapes at Figure 9a's 40-operator scale: a
+// pipeline, whose rounds fan many independent boundary tasks across the
+// pool, and a multi-branch DAG, where the boundary-tie guard serializes the
+// hole-closing join merges and stresses work stealing instead.
+func BenchmarkParallelEnumerate(b *testing.B) {
+	m := weightModel{}
+	b.Run("pipeline40x2", func(b *testing.B) {
+		ctx := benchContext(b, 40, 2)
+		ctx.Workers = runtime.GOMAXPROCS(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Optimize(context.Background(), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dag40x3", func(b *testing.B) {
+		l := workload.RandomDAG(40, 1e7, 4)
+		ctx, err := NewContext(l, platform.Subset(3), platform.UniformAvailability(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.Workers = runtime.GOMAXPROCS(0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Optimize(context.Background(), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 type weightModel struct{}

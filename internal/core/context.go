@@ -37,17 +37,63 @@ type Stats struct {
 	// DegradeReason names the exhausted budget dimension ("max-vectors",
 	// "max-model-calls" or "soft-deadline") when Degraded is set.
 	DegradeReason string
+	// Par counts the parallel scheduler's work (see schedule.go).
+	Par ParStats
 	// Timings is the wall-clock time spent per pipeline stage.
 	Timings obs.StageTimings
 }
 
-// Counters returns a copy of s with the wall-clock timings zeroed: the
-// deterministic work counters. Two runs of the same optimization are
-// expected to produce equal Counters() whatever Workers is, while Timings
+// ParStats counts the work of the round-based parallel enumeration
+// scheduler. Rounds and Tasks are properties of the schedule, which is
+// computed serially from frozen priorities, so they are identical for any
+// Workers setting; Steals and MaxQueueDepth describe how the pool actually
+// executed the schedule and vary with Workers and timing (Counters() zeroes
+// them for that reason).
+type ParStats struct {
+	// Rounds is the number of scheduling rounds (barriers) of the run.
+	Rounds int
+	// Tasks is the number of boundary tasks executed across all rounds.
+	Tasks int
+	// Steals is the number of tasks a worker took from another worker's
+	// queue (work-stealing events). Timing-dependent.
+	Steals int
+	// MaxQueueDepth is the deepest per-worker task queue observed when a
+	// round's tasks were dealt out. Depends on the Workers setting.
+	MaxQueueDepth int
+}
+
+// Counters returns a copy of s with the wall-clock timings and the
+// timing-dependent scheduler fields zeroed: the deterministic work counters.
+// Two runs of the same optimization are expected to produce equal Counters()
+// whatever Workers is, while Timings, Par.Steals and Par.MaxQueueDepth
 // naturally differ run to run.
 func (s Stats) Counters() Stats {
 	s.Timings = obs.StageTimings{}
+	s.Par.Steals = 0
+	s.Par.MaxQueueDepth = 0
 	return s
+}
+
+// merge folds the counters of one task's Stats into s: sums the additive
+// counters, maxes the peak, keeps the first degradation reason (callers
+// merge in task-selection order, so "first" is deterministic), and
+// accumulates the stage timings. Par is not touched — the scheduler counts
+// rounds, tasks and steals itself.
+func (s *Stats) merge(t *Stats) {
+	s.VectorsCreated += t.VectorsCreated
+	s.Merges += t.Merges
+	s.ModelBatches += t.ModelBatches
+	s.ModelRows += t.ModelRows
+	s.MemoHits += t.MemoHits
+	s.Pruned += t.Pruned
+	if t.PeakEnumSize > s.PeakEnumSize {
+		s.PeakEnumSize = t.PeakEnumSize
+	}
+	if t.Degraded && !s.Degraded {
+		s.Degraded = true
+		s.DegradeReason = t.DegradeReason
+	}
+	s.Timings.Add(t.Timings)
 }
 
 func (s *Stats) observe(size int) {
@@ -76,13 +122,14 @@ type Context struct {
 	Schema *Schema
 	Avail  *platform.Availability
 
-	// Workers enables intra-enumeration parallelism (Section IV: the
-	// algebraic operations "enable parallelism"): merges and model
-	// invocations fan out across this many goroutines. 0 or 1 runs
-	// serially. Results are identical either way — merge is a pure
-	// function and vector order is preserved — but the cost model must
-	// be safe for concurrent Predict and PredictBatch calls (all mlmodel
-	// models are).
+	// Workers sizes the enumeration worker pool (Section IV: the algebraic
+	// operations "enable parallelism"). Per-boundary enumerate/merge/prune
+	// tasks fan out across this many goroutines with work stealing (see
+	// schedule.go), and within a task merges and model invocations fan out
+	// the same way. 0 or 1 runs serially. Results are bit-identical either
+	// way — the schedule and reduction order are computed serially — but
+	// the cost model must be safe for concurrent Predict and PredictBatch
+	// calls (all mlmodel models are).
 	Workers int
 
 	// Budget bounds the work of one optimization run; the zero value is
@@ -120,9 +167,11 @@ type Context struct {
 
 	// Per-run tracing state, live only while Trace is set: the run's audit
 	// collector, the root span, the span adopted as parent by nested infer
-	// spans, and the in-flight prune audit record. All are written and read
-	// by the single goroutine driving the enumeration (worker goroutines
-	// never touch spans).
+	// spans, and the in-flight prune audit record. On the main Context they
+	// are touched only by the goroutine driving the enumeration; each
+	// scheduled task gets its own shallow Context copy (taskContext) with a
+	// task-local collector and span parent, folded back in at the round
+	// barrier.
 	rt      *RunTrace
 	root    *obs.Span
 	curSpan *obs.Span
@@ -166,6 +215,12 @@ func (c *Context) endRunTrace(st *Stats, err error) *RunTrace {
 		c.root.SetInt("pruned", int64(st.Pruned))
 		c.root.SetInt("modelRows", int64(st.ModelRows))
 		c.root.SetInt("memoHits", int64(st.MemoHits))
+		if st.Par.Rounds > 0 {
+			c.root.SetInt("rounds", int64(st.Par.Rounds))
+			c.root.SetInt("tasks", int64(st.Par.Tasks))
+			c.root.SetInt("steals", int64(st.Par.Steals))
+			c.root.SetInt("maxQueueDepth", int64(st.Par.MaxQueueDepth))
+		}
 		if st.Degraded {
 			c.root.SetBool("degraded", true)
 			c.root.SetStr("degradeReason", st.DegradeReason)

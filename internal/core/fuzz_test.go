@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// FuzzEnumerate drives the full optimization — random DAG shapes, platform
+// counts, worker counts and (tiny) budgets — and checks the invariants that
+// must hold on every run, however degraded:
+//
+//   - the optimizer returns a plan, never panics and never errors without
+//     cancellation;
+//   - every pruning-audit record shrinks or preserves the enumeration
+//     (vectors_out ≤ vectors_in);
+//   - the selected plan is executable: one assignment per operator, each
+//     assignment drawn from that operator's admissible platforms, and a
+//     conversion on exactly the edges whose endpoints changed platform.
+//
+// Tiny budgets are the interesting corner: they flip the run into degraded
+// beam mode mid-enumeration, which must truncate — not corrupt — the result.
+func FuzzEnumerate(f *testing.F) {
+	f.Add(int64(1), uint16(8), uint16(3), uint16(2), uint16(0), uint16(0))
+	f.Add(int64(42), uint16(14), uint16(2), uint16(1), uint16(120), uint16(0))
+	f.Add(int64(7), uint16(11), uint16(4), uint16(8), uint16(0), uint16(64))
+	f.Add(int64(-3), uint16(19), uint16(3), uint16(4), uint16(9), uint16(9))
+	f.Fuzz(func(t *testing.T, seed int64, nOpsRaw, nPlatsRaw, workersRaw, maxVec, maxMC uint16) {
+		nOps := int(nOpsRaw)%16 + 4
+		nPlats := int(nPlatsRaw)%3 + 2
+		workers := int(workersRaw)%8 + 1
+		l := workload.RandomDAG(nOps, 1e7, seed)
+		ctx, err := core.NewContext(l, platform.Subset(nPlats), platform.UniformAvailability(nPlats))
+		if err != nil {
+			t.Fatalf("NewContext rejected a workload-built DAG: %v", err)
+		}
+		ctx.Workers = workers
+		ctx.Budget = core.Budget{MaxVectors: int(maxVec % 300), MaxModelCalls: int(maxMC % 1024)}
+		ctx.Trace = obs.NewTrace("fuzz")
+		m := newAdditiveLinModel(ctx.Schema, seed+11)
+		res, err := ctx.Optimize(context.Background(), m)
+		if err != nil {
+			t.Fatalf("Optimize failed (nOps=%d nPlats=%d workers=%d budget=%+v): %v",
+				nOps, nPlats, workers, ctx.Budget, err)
+		}
+		for _, rec := range res.Trace.Prunes {
+			if rec.VectorsOut > rec.VectorsIn {
+				t.Errorf("step %d: prune grew the enumeration %d -> %d", rec.Step, rec.VectorsIn, rec.VectorsOut)
+			}
+		}
+		if got := len(res.Execution.Assign); got != l.NumOps() {
+			t.Fatalf("plan assigns %d operators, logical plan has %d", got, l.NumOps())
+		}
+		for i, p := range res.Execution.Assign {
+			ok := false
+			for _, alt := range ctx.Alternatives(plan.OpID(i)) {
+				if ctx.Schema.Platform(int(alt)) == p {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("op %d assigned inadmissible platform %s", i, p)
+			}
+		}
+		switches := 0
+		for _, e := range l.Edges() {
+			if res.Execution.Assign[e.From] != res.Execution.Assign[e.To] {
+				switches++
+			}
+		}
+		if switches != len(res.Execution.Conversions) {
+			t.Errorf("%d platform switches but %d conversions", switches, len(res.Execution.Conversions))
+		}
+	})
+}

@@ -27,17 +27,22 @@ func tracedRun(t *testing.T, nOps, nPlats int) *core.Result {
 }
 
 // TestTracedOptimizeSpanCoverage asserts the span tree covers all seven
-// algebra operations under one root, with prune spans whose attributes are
-// consistent (vectors_out never exceeds vectors_in).
+// algebra operations plus the scheduler's round/task grouping under one
+// root — vectorize/split/enumerate/unvectorize and the round spans hang off
+// the root, task spans off rounds, merge/prune spans off tasks — with prune
+// spans whose attributes are consistent (vectors_out never exceeds
+// vectors_in).
 func TestTracedOptimizeSpanCoverage(t *testing.T) {
 	res := tracedRun(t, 8, 3)
 	res.Trace.Spans.End()
 	snap := res.Trace.Spans.Snapshot()
 
 	seen := map[string]int{}
+	nameOf := map[int]string{}
 	var rootID int = -2
 	for _, s := range snap.Spans {
 		seen[s.Name]++
+		nameOf[s.ID] = s.Name
 		if s.Name == "optimize" {
 			if s.Parent != -1 {
 				t.Errorf("optimize span has parent %d", s.Parent)
@@ -45,14 +50,34 @@ func TestTracedOptimizeSpanCoverage(t *testing.T) {
 			rootID = s.ID
 		}
 	}
-	for _, want := range []string{"optimize", "vectorize", "enumerate", "split", "merge", "prune", "infer", "unvectorize"} {
+	for _, want := range []string{"optimize", "vectorize", "enumerate", "split", "round", "task", "merge", "prune", "infer", "unvectorize"} {
 		if seen[want] == 0 {
 			t.Errorf("span %q missing from trace (have %v)", want, seen)
 		}
 	}
+	wantParent := map[string]string{
+		"vectorize":   "optimize",
+		"split":       "optimize",
+		"enumerate":   "optimize",
+		"unvectorize": "optimize",
+		"round":       "optimize",
+		"task":        "round",
+		"merge":       "task",
+		"prune":       "task",
+	}
 	for _, s := range snap.Spans {
-		if s.Name != "optimize" && s.Parent != rootID && s.Name != "infer" {
-			t.Errorf("span %s parented to %d, not the root %d", s.Name, s.Parent, rootID)
+		if want, ok := wantParent[s.Name]; ok {
+			if s.Name != "round" && s.Name != "task" && s.Parent == rootID && want == "optimize" {
+				continue
+			}
+			if got := nameOf[s.Parent]; got != want {
+				t.Errorf("span %s parented to %q (id %d), want %q", s.Name, got, s.Parent, want)
+			}
+		}
+		if s.Name == "task" {
+			if _, ok := s.Attrs["worker"].(int64); !ok {
+				t.Errorf("task span lacks a worker attribute: %v", s.Attrs)
+			}
 		}
 		if s.Name == "prune" {
 			in, iok := s.Attrs["vectors_in"].(int64)

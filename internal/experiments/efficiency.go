@@ -103,6 +103,7 @@ func (h *Harness) Table1() ([]Table1Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			ctx.Workers = h.Workers
 			// The enumeration counts are model-independent (boundary
 			// pruning keeps one survivor per footprint whatever the
 			// oracle says), so the lightweight model suffices.
@@ -285,6 +286,7 @@ func (h *Harness) Figure10() ([]Fig10Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			ctx.Workers = h.Workers
 			row := Fig10Row{Joins: joins, Platforms: k}
 			measure := func(order core.OrderPolicy) (float64, error) {
 				return timeIt(reps, func() error {

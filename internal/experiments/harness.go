@@ -32,6 +32,11 @@ type Harness struct {
 	// setup: pipeline/juncture/loop shapes, max 50 operators.
 	Quick bool
 
+	// Workers sizes the enumeration worker pool of every Robopt run the
+	// harness performs (core.Context.Workers). 0 or 1 runs serially;
+	// results are identical either way, only latencies change.
+	Workers int
+
 	mu        sync.Mutex
 	wellTuned *costmodel.Model
 	simply    *costmodel.Model
@@ -220,6 +225,7 @@ func (h *Harness) RoboptOptimizeWith(l *plan.Logical, plats []platform.ID, avail
 	if err != nil {
 		return nil, err
 	}
+	ctx.Workers = h.Workers
 	return ctx.Optimize(context.Background(), m)
 }
 
@@ -249,6 +255,7 @@ func (h *Harness) RoboptOptimize(l *plan.Logical, plats []platform.ID, avail *pl
 	if err != nil {
 		return nil, err
 	}
+	ctx.Workers = h.Workers
 	return ctx.Optimize(context.Background(), m)
 }
 

@@ -165,6 +165,14 @@ func Compute(l *plan.Logical, platforms []platform.ID, avail *platform.Availabil
 	if rounds > 24 {
 		rounds = 24
 	}
+	// Besides each neighbour's label, fold in the port positions this
+	// operator occupies at that neighbour. Ports are ordered structure (a
+	// join's left and right inputs are not interchangeable), but a
+	// neighbour's own label never reveals which of its ports *we* feed: two
+	// identical sources feeding the two sides of one join would stay
+	// label-equal forever and the ID tie-break below would make the
+	// canonical order depend on the labeling — exactly what the fingerprint
+	// must be invariant to.
 	next := make([]uint64, n)
 	for r := 0; r < rounds; r++ {
 		for i, o := range l.Ops {
@@ -172,10 +180,20 @@ func Compute(l *plan.Logical, platforms []platform.ID, avail *platform.Availabil
 			for k, p := range o.In {
 				h = mix(h, uint64(0x10+k))
 				h = mix(h, labels[p])
+				for j, c := range l.Ops[p].Out {
+					if c == o.ID {
+						h = mix(h, uint64(0x30+j))
+					}
+				}
 			}
 			for k, c := range o.Out {
 				h = mix(h, uint64(0x20+k))
 				h = mix(h, labels[c])
+				for j, p := range l.Ops[c].In {
+					if p == o.ID {
+						h = mix(h, uint64(0x40+j))
+					}
+				}
 			}
 			next[i] = h
 		}

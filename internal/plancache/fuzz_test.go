@@ -1,0 +1,60 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// FuzzFingerprint checks the cache key's core soundness property on random
+// DAGs: relabeling a plan's operator IDs (an arbitrary permutation) must not
+// change its fingerprint, and old op i and its relabeled twin must land on
+// the same canonical index — otherwise two submissions of the same logical
+// plan would miss each other in the cache, or worse, a hit would remap the
+// cached assignment onto the wrong operators.
+func FuzzFingerprint(f *testing.F) {
+	f.Add(int64(1), uint16(9), int64(2))
+	f.Add(int64(42), uint16(15), int64(-8))
+	f.Add(int64(-77), uint16(28), int64(5))
+	f.Add(int64(1234), uint16(4), int64(4321))
+	f.Fuzz(func(t *testing.T, seed int64, nOpsRaw uint16, permSeed int64) {
+		nOps := int(nOpsRaw)%28 + 4
+		l := workload.RandomDAG(nOps, 1e7, seed)
+		plats := platform.Subset(3)
+		avail := platform.UniformAvailability(3)
+		fpA, canonA, err := Compute(l, plats, avail, 4)
+		if err != nil {
+			t.Fatalf("Compute rejected a workload-built DAG: %v", err)
+		}
+		perm := rand.New(rand.NewSource(permSeed)).Perm(len(l.Ops))
+		lp := permute(t, l, perm)
+		fpB, canonB, err := Compute(lp, plats, avail, 4)
+		if err != nil {
+			t.Fatalf("Compute rejected the relabeled plan: %v", err)
+		}
+		if fpA != fpB {
+			t.Fatalf("relabeling changed the fingerprint: %s vs %s (perm %v)", fpA.Short(), fpB.Short(), perm)
+		}
+		for i := range canonA.Perm {
+			if canonA.Perm[i] != canonB.Perm[perm[i]] {
+				t.Fatalf("op %d maps to canonical %d but its relabeled twin maps to %d",
+					i, canonA.Perm[i], canonB.Perm[perm[i]])
+			}
+		}
+		// A semantic change on top of the relabeling must be visible again:
+		// scaling every source cardinality by two decades crosses any band.
+		mutated := permute(t, l, perm)
+		for id, c := range mutated.SourceCards {
+			mutated.SourceCards[id] = c * 100
+		}
+		fpC, _, err := Compute(mutated, plats, avail, 4)
+		if err != nil {
+			t.Fatalf("Compute rejected the mutated plan: %v", err)
+		}
+		if fpC == fpA {
+			t.Fatal("scaling every source cardinality 100x did not change the fingerprint")
+		}
+	})
+}

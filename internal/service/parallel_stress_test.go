@@ -1,0 +1,187 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// dagJSON marshals a random multi-branch DAG big enough that the parallel
+// scheduler actually runs multiple boundary tasks per round (single chains
+// collapse to one task and would not exercise the pool).
+func dagJSON(t *testing.T, nOps int, seed int64) []byte {
+	t.Helper()
+	data, err := plan.MarshalJSONPlan(workload.RandomDAG(nOps, 1e7, seed))
+	if err != nil {
+		t.Fatalf("MarshalJSONPlan: %v", err)
+	}
+	return data
+}
+
+// TestParallelStressModelSwap is the concurrency certificate for the
+// parallel enumeration inside the live service: 8 concurrent optimize
+// requests, each enumerated on an 8-worker pool, race against a promoter
+// flipping the active model between v1 and v2 and an admin purging the plan
+// cache. The scaled test models make correctness observable per response —
+// under version vN the prediction for a plan is exactly N x its v1
+// prediction — so any torn read between the enumeration, the model snapshot
+// and the cache shows up as a prediction/version mismatch. Run under -race
+// (CI does) this also certifies the scheduler's memory discipline: per-task
+// contexts, arena merges and the round-barrier reduction.
+func TestParallelStressModelSwap(t *testing.T) {
+	s, ts, _ := newLifecycleServer(t)
+	defer ts.Close()
+	s.Workers = 8
+	cache := plancache.New(plancache.Config{Metrics: s.Metrics()})
+	cache.Activate("v1")
+	s.PlanCache = cache
+
+	// Multi-branch DAGs of different shapes; base predictions measured
+	// uncached while v1 is active.
+	plans := [][]byte{
+		dagJSON(t, 16, 42),
+		dagJSON(t, 20, 7),
+		dagJSON(t, 24, 99),
+		dagJSON(t, 18, -5),
+	}
+	base := make([]float64, len(plans))
+	for i, p := range plans {
+		_, out, _ := postPlan(t, ts.URL+"/optimize?nocache=1", p)
+		if out.ModelVersion != "v1" {
+			t.Fatalf("setup: model version %q", out.ModelVersion)
+		}
+		if out.Stats.PoolRounds < 1 || out.Stats.PoolTasks < out.Stats.PoolRounds {
+			t.Fatalf("setup plan %d: pool stats rounds=%d tasks=%d; the DAG did not exercise the scheduler",
+				i, out.Stats.PoolRounds, out.Stats.PoolTasks)
+		}
+		base[i] = out.PredictedRuntimeSec
+	}
+	scale := map[string]float64{"v1": 1, "v2": 2}
+
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters+1)
+
+	stop := make(chan struct{})
+	promoterDone := make(chan struct{})
+	go func() {
+		defer close(promoterDone)
+		versions := []string{"v2", "v1"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(ts.URL+"/modelz/promote?version="+versions[i%2], "application/json", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("promote: status %d", resp.StatusCode)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				pi := (w + i) % len(plans)
+				url := ts.URL + "/optimize"
+				if (w+i)%5 == 0 {
+					// A mix of uncached requests keeps live parallel
+					// enumerations in flight throughout, not just during
+					// the warm-up misses.
+					url += "?nocache=1"
+				}
+				if w == 0 && i%7 == 3 {
+					resp, err := http.Post(ts.URL+"/cachez/purge", "application/json", nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				resp, err := http.Post(url, "application/json", bytes.NewReader(plans[pi]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("optimize: status %d (%.120s)", resp.StatusCode, raw)
+					continue
+				}
+				var out service.OptimizeResponse
+				if err := json.Unmarshal(raw, &out); err != nil {
+					errs <- err
+					continue
+				}
+				sc, ok := scale[out.ModelVersion]
+				if !ok {
+					errs <- fmt.Errorf("unknown model version %q", out.ModelVersion)
+					continue
+				}
+				if want := sc * base[pi]; out.PredictedRuntimeSec != want {
+					errs <- fmt.Errorf("plan %d: version %s predicted %v, want %v — response paired with the wrong model",
+						pi, out.ModelVersion, out.PredictedRuntimeSec, want)
+					continue
+				}
+				if out.ServedModelVersion != "" && out.ServedModelVersion != out.ModelVersion {
+					errs <- fmt.Errorf("servedModelVersion %q != modelVersion %q",
+						out.ServedModelVersion, out.ModelVersion)
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(stop)
+	<-promoterDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The pool counters reached the metric registry.
+	mz, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mz.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mz.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pool_rounds_total", "pool_tasks_total", "pool_steals_total"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metricz missing %s", name)
+		}
+	}
+	if snap.Counters["pool_rounds_total"] == 0 || snap.Counters["pool_tasks_total"] == 0 {
+		t.Errorf("pool counters stayed zero under an 8-worker stress: rounds=%d tasks=%d",
+			snap.Counters["pool_rounds_total"], snap.Counters["pool_tasks_total"])
+	}
+}

@@ -44,6 +44,12 @@
 //   - model_rows_total — feature rows sent to the cost oracle across
 //     requests
 //   - memo_hits_total — predictions served from the per-run memo
+//   - pool_rounds_total — parallel-enumeration scheduling rounds across
+//     requests
+//   - pool_tasks_total — boundary tasks executed by the enumeration worker
+//     pool across requests
+//   - pool_steals_total — work-stealing events (tasks run by a worker other
+//     than the one they were dealt to) across requests
 //   - model_requests_<version> — optimize requests scored by each model
 //     version (the hot-swap audit trail)
 //   - model_swaps_total — models hot-swapped in via reload/promote/retrain
@@ -70,6 +76,8 @@
 //   - model_rows — feature rows sent to the cost oracle per request
 //   - model_batch_rows — average rows per model batch per request (the
 //     inference batch size)
+//   - pool_queue_depth — deepest per-worker task queue per request (the
+//     enumeration pool's load skew before stealing)
 //   - stage_vectorize_ms, stage_enumerate_ms, stage_merge_ms,
 //     stage_prune_ms, stage_unvectorize_ms — per-stage span timings of the
 //     optimization pipeline
@@ -266,7 +274,10 @@ type ConversionJSON struct {
 	Tuples   float64 `json:"tuples"`
 }
 
-// StatsJSON mirrors the counter fields of core.Stats.
+// StatsJSON mirrors the counter fields of core.Stats. The pool fields
+// describe the parallel-enumeration scheduler: rounds and tasks are
+// schedule-deterministic, steals and queue depth depend on the Workers
+// setting and timing.
 type StatsJSON struct {
 	VectorsCreated int `json:"vectorsCreated"`
 	Merges         int `json:"merges"`
@@ -275,6 +286,10 @@ type StatsJSON struct {
 	MemoHits       int `json:"memoHits"`
 	Pruned         int `json:"pruned"`
 	PeakEnumSize   int `json:"peakEnumSize"`
+	PoolRounds     int `json:"poolRounds,omitempty"`
+	PoolTasks      int `json:"poolTasks,omitempty"`
+	PoolSteals     int `json:"poolSteals,omitempty"`
+	PoolQueueDepth int `json:"poolQueueDepth,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every error reply.
@@ -494,6 +509,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			MemoHits:       res.Stats.MemoHits,
 			Pruned:         res.Stats.Pruned,
 			PeakEnumSize:   res.Stats.PeakEnumSize,
+			PoolRounds:     res.Stats.Par.Rounds,
+			PoolTasks:      res.Stats.Par.Tasks,
+			PoolSteals:     res.Stats.Par.Steals,
+			PoolQueueDepth: res.Stats.Par.MaxQueueDepth,
 		},
 		StageMs:        res.Stats.Timings.Milliseconds(),
 		OptimizationMs: float64(time.Since(start).Microseconds()) / 1000,
@@ -669,6 +688,12 @@ func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	m.Counter("model_batches_total").Add(int64(res.Stats.ModelBatches))
 	m.Counter("model_rows_total").Add(int64(res.Stats.ModelRows))
 	m.Counter("memo_hits_total").Add(int64(res.Stats.MemoHits))
+	m.Counter("pool_rounds_total").Add(int64(res.Stats.Par.Rounds))
+	m.Counter("pool_tasks_total").Add(int64(res.Stats.Par.Tasks))
+	m.Counter("pool_steals_total").Add(int64(res.Stats.Par.Steals))
+	if res.Stats.Par.MaxQueueDepth > 0 {
+		m.Histogram("pool_queue_depth").Observe(float64(res.Stats.Par.MaxQueueDepth))
+	}
 	for stage, ms := range res.Stats.Timings.Milliseconds() {
 		m.Histogram("stage_" + stage + "_ms").Observe(ms)
 	}
