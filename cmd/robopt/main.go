@@ -57,6 +57,7 @@ func main() {
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
 		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism (plans are identical for any value)")
+		riskL     = flag.Float64("risk-lambda", 0, "risk aversion λ: score plans by mean + λ·spread and keep near-ties with overlapping prediction intervals (0 = point-estimate optimization; multi mode only)")
 		example   = flag.Bool("print-example-plan", false, "print the paper's running-example logical plan as JSON and exit")
 		explain   = flag.String("explain", "", "trace the optimization and print an explanation report: text or json (multi mode only)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -198,6 +199,12 @@ func main() {
 		}
 		ctx.Workers = *workers
 		ctx.Budget = core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC}
+		if *riskL < 0 {
+			log.Fatalf("-risk-lambda must be >= 0, got %g", *riskL)
+		}
+		if *riskL != 0 {
+			ctx.Risk = core.Risk{Lambda: *riskL, KeepOverlap: true}
+		}
 		if *deadline > 0 {
 			// Degrade before the hard deadline so -deadline alone still
 			// yields a plan when the enumeration is too large.
@@ -214,7 +221,16 @@ func main() {
 		}
 		ctx.Trace.End()
 		x = res.Execution
-		fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
+		if d := res.PredictedDist; d.Spread != 0 {
+			fmt.Printf("predicted runtime: %.2fs (90%% interval [%.2f, %.2f]s, spread %.2gs)\n",
+				res.Predicted, d.Lo, d.Hi, d.Spread)
+		} else {
+			fmt.Printf("predicted runtime: %.2fs\n", res.Predicted)
+		}
+		if res.Risk.Lambda != 0 {
+			fmt.Printf("risk-aware selection: λ=%g, %d near-tie vectors kept by overlap pruning\n",
+				res.Risk.Lambda, res.Stats.IntervalKept)
+		}
 		fmt.Printf("enumeration stats: %d vectors, %d merges, %d model rows in %d batches (%d memo hits), %d pruned\n",
 			res.Stats.VectorsCreated, res.Stats.Merges, res.Stats.ModelRows,
 			res.Stats.ModelBatches, res.Stats.MemoHits, res.Stats.Pruned)

@@ -50,8 +50,15 @@ func (o OrderPolicy) String() string {
 type Result struct {
 	Execution *plan.Execution
 	Vector    *Vector
-	// Predicted is the model's runtime estimate for the chosen plan.
+	// Predicted is the chosen plan's selection score: the model's runtime
+	// estimate, risk-adjusted to mean + λ·spread when Risk.Lambda was set.
 	Predicted float64
+	// PredictedDist is the model's predictive distribution for the chosen
+	// plan. On point-estimate models (or models without distributional
+	// support) it degenerates to Lo = Hi = Mean with zero Spread.
+	PredictedDist CostDist
+	// Risk echoes the Context.Risk configuration the run used.
+	Risk Risk
 	// Degraded reports that the enumeration Budget was exhausted and the
 	// plan is best-effort rather than enumeration-optimal (it is still a
 	// valid, executable plan). Mirrors Stats.Degraded.
@@ -117,7 +124,15 @@ func (c *Context) OptimizeOpts(ctx context.Context, m CostModel, pr Pruner, orde
 		return nil, err
 	}
 	rt := c.endRunTrace(&st, nil)
-	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Degraded: st.Degraded, Stats: st, Trace: rt}, nil
+	pd := best.Dist
+	if !c.Risk.enabled() {
+		// Post-hoc interval for point-estimate runs: scored outside the
+		// enumeration's accounting (like recordContributions) so λ=0 Stats
+		// stay pinned to the historical counters.
+		pd = predictDistOne(m, best.F)
+		pd.Mean = best.Cost
+	}
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, PredictedDist: pd, Risk: c.Risk, Degraded: st.Degraded, Stats: st, Trace: rt}, nil
 }
 
 // OptimizeExhaustive enumerates the complete search space Ω_p without
@@ -143,7 +158,12 @@ func (c *Context) OptimizeExhaustive(ctx context.Context, m CostModel, maxVector
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Execution: x, Vector: best, Predicted: best.Cost, Stats: st}, nil
+	pd := best.Dist
+	if !c.Risk.enabled() {
+		pd = predictDistOne(m, best.F)
+		pd.Mean = best.Cost
+	}
+	return &Result{Execution: x, Vector: best, Predicted: best.Cost, PredictedDist: pd, Risk: c.Risk, Stats: st}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +295,7 @@ func (c *Context) EnumerateFull(ctx context.Context, pr Pruner, order OrderPolic
 			}
 			if len(t.tc.memo) > 0 {
 				if c.memo == nil {
-					c.memo = make(map[string]float64, len(t.tc.memo))
+					c.memo = make(map[string]CostDist, len(t.tc.memo))
 				}
 				for k, v := range t.tc.memo {
 					c.memo[k] = v

@@ -248,6 +248,35 @@ func BenchmarkParallelEnumerate(b *testing.B) {
 	})
 }
 
+// BenchmarkRiskPrune measures the overhead of distributional scoring at
+// Figure 9a's 40-operator scale: the same pipeline optimized on the
+// point-estimate path (zero Risk — the historical code path, byte for byte)
+// and on the risk-aware path (λ=0.5 with overlap pruning, four batched
+// output columns plus interval bookkeeping per prune). BENCH_risk.json
+// records a snapshot of the two.
+func BenchmarkRiskPrune(b *testing.B) {
+	m := distWeightModel{}
+	b.Run("PointScoring", func(b *testing.B) {
+		ctx := benchContext(b, 40, 2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Optimize(context.Background(), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DistScoring", func(b *testing.B) {
+		ctx := benchContext(b, 40, 2)
+		ctx.Risk = Risk{Lambda: 0.5, KeepOverlap: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.Optimize(context.Background(), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 type weightModel struct{}
 
 func (weightModel) Predict(f []float64) float64 {
@@ -263,5 +292,22 @@ func (weightModel) Predict(f []float64) float64 {
 func (m weightModel) PredictBatch(X *vecops.Matrix, out []float64) {
 	for i := 0; i < X.Rows; i++ {
 		out[i] = m.Predict(X.Row(i))
+	}
+}
+
+// distWeightModel extends weightModel with a cheap synthetic uncertainty so
+// BenchmarkRiskPrune exercises the full four-column distributional path.
+type distWeightModel struct{ weightModel }
+
+func (m distWeightModel) PredictBatchDist(X *vecops.Matrix, mean, spread, lo, hi []float64) {
+	m.PredictBatch(X, mean)
+	for i := 0; i < X.Rows; i++ {
+		s := 0.01 * mean[i]
+		if s < 0 {
+			s = -s
+		}
+		spread[i] = s
+		lo[i] = mean[i] - 1.645*s
+		hi[i] = mean[i] + 1.645*s
 	}
 }

@@ -28,6 +28,7 @@ type Stats struct {
 	ModelRows      int // feature rows sent to the cost oracle across all batches
 	MemoHits       int // predictions served from the per-run memo instead of the model
 	Pruned         int // vectors discarded by pruning
+	IntervalKept   int // near-tie vectors kept by overlap pruning (Risk.KeepOverlap)
 	PeakEnumSize   int // largest enumeration encountered
 
 	// Degraded reports that the enumeration Budget was exhausted and the
@@ -86,6 +87,7 @@ func (s *Stats) merge(t *Stats) {
 	s.ModelRows += t.ModelRows
 	s.MemoHits += t.MemoHits
 	s.Pruned += t.Pruned
+	s.IntervalKept += t.IntervalKept
 	if t.PeakEnumSize > s.PeakEnumSize {
 		s.PeakEnumSize = t.PeakEnumSize
 	}
@@ -146,6 +148,10 @@ type Context struct {
 	// per-run fields it must not be swapped mid-run.
 	Trace *obs.Trace
 
+	// Risk configures uncertainty-aware scoring and pruning (see Risk).
+	// The zero value keeps the historical point-estimate behavior exactly.
+	Risk Risk
+
 	alternatives [][]uint8     // per op: schema platform columns available
 	edges        []plan.Edge   // all dataflow edges
 	opClass      []topoClass   // per op
@@ -163,7 +169,7 @@ type Context struct {
 	// so consecutive runs on one Context stay independent and their
 	// Stats.Counters() stay comparable. It lives here rather than on
 	// Stats to keep Stats a comparable struct.
-	memo map[string]float64
+	memo map[string]CostDist
 
 	// Per-run tracing state, live only while Trace is set: the run's audit
 	// collector, the root span, the span adopted as parent by nested infer

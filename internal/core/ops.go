@@ -344,6 +344,7 @@ func (c *Context) Merge(v1, v2 *Vector, info *MergeCtx, st *Stats) *Vector {
 func (c *Context) mergeInto(out, v1, v2 *Vector, info *MergeCtx, st *Stats) {
 	s := c.Schema
 	out.Cost = 0
+	out.Dist = CostDist{}
 	vecops.Add(out.F, v1.F, v2.F)
 	out.F[TopoPipeline] -= float64(info.Fuses)
 	// The dataset cell and the per-platform peak-bytes cells merge by max,
@@ -421,6 +422,10 @@ func (p BoundaryPruner) Prune(ctx context.Context, c *Context, e *Enumeration, s
 		return
 	}
 	if !c.predictEnum(ctx, p.Model, e, st) {
+		return
+	}
+	if c.Risk.KeepOverlap {
+		riskDedup(c, e, st, c.curRec, nil)
 		return
 	}
 	dedupFootprint(e, st, c.curRec)

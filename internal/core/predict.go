@@ -81,9 +81,12 @@ func (e *Enumeration) featureMatrix(cols int) *vecops.Matrix {
 	return m
 }
 
-// predictEnum sets Vector.Cost for every vector of e through one batched
-// model invocation, and is the single prediction/accounting path shared by
-// BoundaryPruner, PropertyPruner and GetOptimal. Vectors whose full
+// predictEnum sets Vector.Cost (and Vector.Dist) for every vector of e
+// through one batched model invocation, and is the single
+// prediction/accounting path shared by BoundaryPruner, PropertyPruner and
+// GetOptimal. On risk-enabled runs (Context.Risk) the batch goes through
+// PredictBatchDist and Cost becomes the λ-adjusted score; otherwise the
+// historical point-estimate batch runs unchanged. Vectors whose full
 // assignment was already predicted in this run are served from the per-run
 // memo (Stats.MemoHits); the rest form one flat matrix scored by a single
 // logical PredictBatch (Stats.ModelBatches/ModelRows), chunked across
@@ -106,14 +109,15 @@ func (c *Context) predictEnum(ctx context.Context, m CostModel, e *Enumeration, 
 		ispan = c.Trace.StartSpan(parent, "infer")
 	}
 	if c.memo == nil {
-		c.memo = make(map[string]float64)
+		c.memo = make(map[string]CostDist)
 	}
 	// Memo pass (serial, so hit counts are deterministic for any Workers).
 	hits := 0
 	miss := make([]int, 0, n)
 	for i, v := range e.Vectors {
-		if cost, ok := c.memo[string(v.Assign)]; ok {
-			v.Cost = cost
+		if d, ok := c.memo[string(v.Assign)]; ok {
+			v.Dist = d
+			v.Cost = c.score(d)
 			hits++
 		} else {
 			miss = append(miss, i)
@@ -130,19 +134,46 @@ func (c *Context) predictEnum(ctx context.Context, m CostModel, e *Enumeration, 
 				copy(X.Row(k), e.Vectors[i].F)
 			}
 		}
-		out := make([]float64, len(miss))
-		bm := asBatch(m)
-		err := parallelForCtx(ctx, len(miss), c.Workers, pruneBlock, func(lo, hi int) {
-			sub := X.RowsView(lo, hi)
-			bm.PredictBatch(&sub, out[lo:hi])
-		})
-		if err != nil {
-			ok = false
+		if !c.Risk.enabled() {
+			// Point-estimate path: byte-for-byte the historical batched
+			// prediction (same chunking, same writes to Cost).
+			out := make([]float64, len(miss))
+			bm := asBatch(m)
+			err := parallelForCtx(ctx, len(miss), c.Workers, pruneBlock, func(lo, hi int) {
+				sub := X.RowsView(lo, hi)
+				bm.PredictBatch(&sub, out[lo:hi])
+			})
+			if err != nil {
+				ok = false
+			} else {
+				for k, i := range miss {
+					v := e.Vectors[i]
+					v.Cost = out[k]
+					v.Dist = CostDist{Mean: out[k], Lo: out[k], Hi: out[k]}
+					c.memo[string(v.Assign)] = v.Dist
+				}
+			}
 		} else {
-			for k, i := range miss {
-				v := e.Vectors[i]
-				v.Cost = out[k]
-				c.memo[string(v.Assign)] = out[k]
+			// Distributional path: same batching and chunking, four parallel
+			// output slices. mean[k] is bit-identical to the point path.
+			mean := make([]float64, len(miss))
+			spread := make([]float64, len(miss))
+			lov := make([]float64, len(miss))
+			hiv := make([]float64, len(miss))
+			dm := asBatchDist(m)
+			err := parallelForCtx(ctx, len(miss), c.Workers, pruneBlock, func(lo, hi int) {
+				sub := X.RowsView(lo, hi)
+				dm.PredictBatchDist(&sub, mean[lo:hi], spread[lo:hi], lov[lo:hi], hiv[lo:hi])
+			})
+			if err != nil {
+				ok = false
+			} else {
+				for k, i := range miss {
+					v := e.Vectors[i]
+					v.Dist = CostDist{Mean: mean[k], Spread: spread[k], Lo: lov[k], Hi: hiv[k]}
+					v.Cost = c.score(v.Dist)
+					c.memo[string(v.Assign)] = v.Dist
+				}
 			}
 		}
 	}

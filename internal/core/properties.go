@@ -93,6 +93,10 @@ func (p PropertyPruner) Prune(ctx context.Context, c *Context, e *Enumeration, s
 	if !c.predictEnum(ctx, p.Model, e, st) {
 		return
 	}
+	if c.Risk.KeepOverlap {
+		riskDedup(c, e, st, c.curRec, p.Properties)
+		return
+	}
 	if len(e.Vectors) == 1 {
 		return
 	}

@@ -64,6 +64,10 @@ type PruneRecord struct {
 	// enumeration is additionally truncated to the degraded beam around
 	// them).
 	Degraded bool `json:"degraded,omitempty"`
+	// IntervalKept counts the near-tie vectors this prune kept because
+	// their predictive interval overlapped their group winner's
+	// (Risk.KeepOverlap runs only; always zero otherwise).
+	IntervalKept int `json:"intervalKept,omitempty"`
 	// BestPruned is the best pruned alternative at this boundary, absent
 	// when the prune discarded nothing.
 	BestPruned *PrunedAlternative `json:"bestPruned,omitempty"`
@@ -71,6 +75,7 @@ type PruneRecord struct {
 	// in-flight tracking for the best pruned alternative (resolved into
 	// BestPruned when the prune completes).
 	prunedCost   float64
+	prunedDist   CostDist
 	prunedAssign []uint8
 	survivorSlot int
 	hasPruned    bool
@@ -84,6 +89,14 @@ type PrunedAlternative struct {
 	Cost         float64 `json:"cost"`
 	SurvivorCost float64 `json:"survivorCost"`
 	Margin       float64 `json:"margin"`
+	// Lo/Hi and SurvivorLo/SurvivorHi are the two plans' predictive
+	// intervals, reported on distributional (risk-enabled) runs so the
+	// losing margin can be read against the model's uncertainty. Zero (and
+	// omitted) on point-estimate runs.
+	Lo         float64 `json:"lo,omitempty"`
+	Hi         float64 `json:"hi,omitempty"`
+	SurvivorLo float64 `json:"survivorLo,omitempty"`
+	SurvivorHi float64 `json:"survivorHi,omitempty"`
 	// BoundaryAssign and SurvivorAssign give the two vectors' platform
 	// choices on the boundary operators, index-aligned with
 	// PruneRecord.Boundary.
@@ -102,6 +115,7 @@ func (rec *PruneRecord) observeDiscard(discarded *Vector, slot int) {
 	if !rec.hasPruned || discarded.Cost < rec.prunedCost {
 		rec.hasPruned = true
 		rec.prunedCost = discarded.Cost
+		rec.prunedDist = discarded.Dist
 		rec.prunedAssign = append(rec.prunedAssign[:0], discarded.Assign...)
 		rec.survivorSlot = slot
 	}
@@ -114,6 +128,12 @@ type FinalSelection struct {
 	// from.
 	Size     int     `json:"size"`
 	BestCost float64 `json:"bestCost"`
+	// BestLo/BestHi/BestSpread are the winner's predictive interval and
+	// spread on distributional (risk-enabled) runs; zero and omitted on
+	// point-estimate runs.
+	BestLo     float64 `json:"bestLo,omitempty"`
+	BestHi     float64 `json:"bestHi,omitempty"`
+	BestSpread float64 `json:"bestSpread,omitempty"`
 	// RunnerUp is the second-cheapest complete plan (absent when the final
 	// enumeration held a single vector).
 	RunnerUp *AlternativePlan `json:"runnerUp,omitempty"`
@@ -124,6 +144,8 @@ type FinalSelection struct {
 type AlternativePlan struct {
 	Cost   float64  `json:"cost"`
 	Margin float64  `json:"margin"`
+	Lo     float64  `json:"lo,omitempty"`
+	Hi     float64  `json:"hi,omitempty"`
 	Assign []string `json:"assign"`
 }
 
@@ -191,6 +213,10 @@ func (rt *RunTrace) endPrune(rec *PruneRecord, e *Enumeration, degraded bool) {
 			SurvivorCost: survivor.Cost,
 			Margin:       rec.prunedCost - survivor.Cost,
 		}
+		if rec.prunedDist.Spread != 0 || survivor.Dist.Spread != 0 {
+			alt.Lo, alt.Hi = rec.prunedDist.Lo, rec.prunedDist.Hi
+			alt.SurvivorLo, alt.SurvivorHi = survivor.Dist.Lo, survivor.Dist.Hi
+		}
 		for _, id := range rec.Boundary {
 			alt.BoundaryAssign = append(alt.BoundaryAssign, rt.platformName(rec.prunedAssign[id]))
 			alt.SurvivorAssign = append(alt.SurvivorAssign, rt.platformName(survivor.Assign[id]))
@@ -203,6 +229,9 @@ func (rt *RunTrace) endPrune(rec *PruneRecord, e *Enumeration, degraded bool) {
 // complete alternative.
 func (rt *RunTrace) finishSelection(e *Enumeration, best *Vector) {
 	sel := &FinalSelection{Size: len(e.Vectors), BestCost: best.Cost}
+	if best.Dist.Spread != 0 {
+		sel.BestLo, sel.BestHi, sel.BestSpread = best.Dist.Lo, best.Dist.Hi, best.Dist.Spread
+	}
 	var runner *Vector
 	for _, v := range e.Vectors {
 		if v == best {
@@ -214,6 +243,9 @@ func (rt *RunTrace) finishSelection(e *Enumeration, best *Vector) {
 	}
 	if runner != nil {
 		alt := &AlternativePlan{Cost: runner.Cost, Margin: runner.Cost - best.Cost}
+		if runner.Dist.Spread != 0 {
+			alt.Lo, alt.Hi = runner.Dist.Lo, runner.Dist.Hi
+		}
 		for _, a := range runner.Assign {
 			alt.Assign = append(alt.Assign, rt.platformName(a))
 		}
@@ -251,12 +283,21 @@ func (rt *RunTrace) recordContributions(c *Context, m CostModel, best *Vector) {
 // best complete alternative plan with its losing margin, and the best pruned
 // alternative at every enumeration boundary.
 type Explanation struct {
-	Predicted     float64          `json:"predictedRuntimeSec"`
-	Degraded      bool             `json:"degraded,omitempty"`
-	DegradeReason string           `json:"degradeReason,omitempty"`
-	Operators     []OperatorChoice `json:"operators"`
-	Final         *FinalSelection  `json:"final,omitempty"`
-	Boundaries    []*PruneRecord   `json:"boundaries,omitempty"`
+	Predicted float64 `json:"predictedRuntimeSec"`
+	// PredictedLo/Hi/Spread describe the model's predictive interval for
+	// the chosen plan (zero, and omitted, when the model exposes no
+	// uncertainty). RiskLambda echoes the run's risk-aversion weight and
+	// IntervalKept the number of near-ties overlap pruning retained.
+	PredictedLo     float64          `json:"predictedLoSec,omitempty"`
+	PredictedHi     float64          `json:"predictedHiSec,omitempty"`
+	PredictedSpread float64          `json:"predictedSpreadSec,omitempty"`
+	RiskLambda      float64          `json:"riskLambda,omitempty"`
+	IntervalKept    int              `json:"intervalKept,omitempty"`
+	Degraded        bool             `json:"degraded,omitempty"`
+	DegradeReason   string           `json:"degradeReason,omitempty"`
+	Operators       []OperatorChoice `json:"operators"`
+	Final           *FinalSelection  `json:"final,omitempty"`
+	Boundaries      []*PruneRecord   `json:"boundaries,omitempty"`
 }
 
 // OperatorChoice is one operator's winning platform with its singleton cost
@@ -277,9 +318,16 @@ func (r *Result) Explain() (*Explanation, error) {
 	}
 	ex := &Explanation{
 		Predicted:     r.Predicted,
+		RiskLambda:    r.Risk.Lambda,
+		IntervalKept:  r.Stats.IntervalKept,
 		Degraded:      r.Degraded,
 		DegradeReason: r.Stats.DegradeReason,
 		Final:         r.Trace.Final,
+	}
+	if r.PredictedDist.Spread != 0 {
+		ex.PredictedLo = r.PredictedDist.Lo
+		ex.PredictedHi = r.PredictedDist.Hi
+		ex.PredictedSpread = r.PredictedDist.Spread
 	}
 	for _, oc := range r.Trace.OpContribs {
 		ex.Operators = append(ex.Operators, OperatorChoice{
@@ -304,10 +352,20 @@ func (r *Result) Explain() (*Explanation, error) {
 func (ex *Explanation) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "predicted runtime: %.4gs", ex.Predicted)
+	if ex.PredictedSpread != 0 {
+		fmt.Fprintf(&sb, " (90%% interval [%.4g, %.4g]s, spread %.4gs)",
+			ex.PredictedLo, ex.PredictedHi, ex.PredictedSpread)
+	}
+	if ex.RiskLambda != 0 {
+		fmt.Fprintf(&sb, " [risk λ=%.3g]", ex.RiskLambda)
+	}
 	if ex.Degraded {
 		fmt.Fprintf(&sb, " (degraded: %s)", ex.DegradeReason)
 	}
 	sb.WriteByte('\n')
+	if ex.IntervalKept > 0 {
+		fmt.Fprintf(&sb, "overlap pruning kept %d near-tie vectors alive\n", ex.IntervalKept)
+	}
 	sb.WriteString("operator platform choices (singleton cost contribution):\n")
 	for _, oc := range ex.Operators {
 		fmt.Fprintf(&sb, "  op %-3d %-24s -> %-10s (%.4gs)\n", oc.Op,

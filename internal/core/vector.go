@@ -21,9 +21,14 @@ type Vector struct {
 	F      []float64
 	Assign []uint8
 
-	// Cost caches the model's latest runtime prediction for this vector
-	// (set by Prune and GetOptimal).
+	// Cost caches the vector's latest selection score (set by Prune and
+	// GetOptimal): the model's runtime prediction, risk-adjusted to
+	// mean + λ·spread when the run's Risk.Lambda is nonzero.
 	Cost float64
+
+	// Dist is the predictive distribution behind Cost. On point-estimate
+	// runs it degenerates to Lo = Hi = Mean with zero Spread.
+	Dist CostDist
 }
 
 // Clone returns a deep copy of v.
@@ -32,6 +37,7 @@ func (v *Vector) Clone() *Vector {
 		F:      make([]float64, len(v.F)),
 		Assign: make([]uint8, len(v.Assign)),
 		Cost:   v.Cost,
+		Dist:   v.Dist,
 	}
 	copy(out.F, v.F)
 	copy(out.Assign, v.Assign)

@@ -15,6 +15,10 @@ import (
 type Linear struct {
 	Weights   []float64
 	Intercept float64
+	// ResidStd is the population std of the training residuals, recorded
+	// by FitLinear as the model's homoscedastic predictive spread. Zero on
+	// models loaded from artifacts that predate the field.
+	ResidStd float64
 }
 
 // Predict returns w·x + b.
@@ -87,7 +91,14 @@ func FitLinear(d *Dataset, cfg LinearConfig) (*Linear, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Linear{Weights: w[:nf], Intercept: w[nf]}, nil
+	l := &Linear{Weights: w[:nf], Intercept: w[nf]}
+	var ss float64
+	for r := 0; r < d.Len(); r++ {
+		e := d.Y[r] - l.Predict(d.X[r])
+		ss += e * e
+	}
+	l.ResidStd = math.Sqrt(ss / float64(d.Len()))
+	return l, nil
 }
 
 // solveGauss solves the augmented system [A|b] in place by Gaussian

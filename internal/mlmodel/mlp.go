@@ -42,6 +42,10 @@ type MLP struct {
 	// Standardization parameters learned from the training data.
 	xMean, xStd []float64
 	yMean, yStd float64
+
+	// residStd is the population std of the training residuals, recorded
+	// by FitMLP as the model's homoscedastic predictive spread.
+	residStd float64
 }
 
 // Predict returns the network's runtime estimate for x.
@@ -171,6 +175,12 @@ func FitMLP(d *Dataset, cfg MLPConfig) (*MLP, error) {
 			m.b2 -= lr * g
 		}
 	}
+	var ss float64
+	for r, row := range d.X {
+		e := d.Y[r] - m.Predict(row)
+		ss += e * e
+	}
+	m.residStd = math.Sqrt(ss / float64(d.Len()))
 	return m, nil
 }
 

@@ -26,6 +26,9 @@ type treeJSON struct {
 	Left      []int32   `json:"left"`
 	Right     []int32   `json:"right"`
 	Value     []float64 `json:"value"`
+	// Spread is the per-node training-target std backing PredictDist.
+	// Optional: artifacts written before the field load as zero spread.
+	Spread []float64 `json:"spread,omitempty"`
 }
 
 func treeToJSON(t *Tree) treeJSON {
@@ -35,6 +38,7 @@ func treeToJSON(t *Tree) treeJSON {
 		Left:      make([]int32, len(t.nodes)),
 		Right:     make([]int32, len(t.nodes)),
 		Value:     make([]float64, len(t.nodes)),
+		Spread:    make([]float64, len(t.nodes)),
 	}
 	for i, n := range t.nodes {
 		tj.Feature[i] = n.feature
@@ -42,6 +46,7 @@ func treeToJSON(t *Tree) treeJSON {
 		tj.Left[i] = n.left
 		tj.Right[i] = n.right
 		tj.Value[i] = n.value
+		tj.Spread[i] = n.spread
 	}
 	return tj
 }
@@ -50,6 +55,9 @@ func treeFromJSON(tj treeJSON) (*Tree, error) {
 	n := len(tj.Feature)
 	if len(tj.Threshold) != n || len(tj.Left) != n || len(tj.Right) != n || len(tj.Value) != n {
 		return nil, fmt.Errorf("mlmodel: inconsistent tree arrays")
+	}
+	if len(tj.Spread) != 0 && len(tj.Spread) != n {
+		return nil, fmt.Errorf("mlmodel: inconsistent tree spread array")
 	}
 	if n == 0 {
 		return nil, fmt.Errorf("mlmodel: empty tree")
@@ -68,6 +76,9 @@ func treeFromJSON(tj treeJSON) (*Tree, error) {
 			right:     tj.Right[i],
 			value:     tj.Value[i],
 		}
+		if len(tj.Spread) == n {
+			t.nodes[i].spread = tj.Spread[i]
+		}
 	}
 	return t, nil
 }
@@ -85,17 +96,19 @@ type forestJSON struct {
 type linearJSON struct {
 	Weights   []float64 `json:"weights"`
 	Intercept float64   `json:"intercept"`
+	ResidStd  float64   `json:"residStd,omitempty"`
 }
 
 type mlpJSON struct {
-	W1    [][]float64 `json:"w1"`
-	B1    []float64   `json:"b1"`
-	W2    []float64   `json:"w2"`
-	B2    float64     `json:"b2"`
-	XMean []float64   `json:"xMean"`
-	XStd  []float64   `json:"xStd"`
-	YMean float64     `json:"yMean"`
-	YStd  float64     `json:"yStd"`
+	W1       [][]float64 `json:"w1"`
+	B1       []float64   `json:"b1"`
+	W2       []float64   `json:"w2"`
+	B2       float64     `json:"b2"`
+	XMean    []float64   `json:"xMean"`
+	XStd     []float64   `json:"xStd"`
+	YMean    float64     `json:"yMean"`
+	YStd     float64     `json:"yStd"`
+	ResidStd float64     `json:"residStd,omitempty"`
 }
 
 func mlpFromJSON(mj mlpJSON) (*MLP, error) {
@@ -130,6 +143,7 @@ func mlpFromJSON(mj mlpJSON) (*MLP, error) {
 	return &MLP{
 		w1: mj.W1, b1: mj.B1, w2: mj.W2, b2: mj.B2,
 		xMean: mj.XMean, xStd: mj.XStd, yMean: mj.YMean, yStd: mj.YStd,
+		residStd: mj.ResidStd,
 	}, nil
 }
 
@@ -166,11 +180,12 @@ func envelope(m Model) (*modelEnvelope, error) {
 		}
 		return marshal("forest", fj)
 	case *Linear:
-		return marshal("linear", linearJSON{Weights: mm.Weights, Intercept: mm.Intercept})
+		return marshal("linear", linearJSON{Weights: mm.Weights, Intercept: mm.Intercept, ResidStd: mm.ResidStd})
 	case *MLP:
 		return marshal("mlp", mlpJSON{
 			W1: mm.w1, B1: mm.b1, W2: mm.w2, B2: mm.b2,
 			XMean: mm.xMean, XStd: mm.xStd, YMean: mm.yMean, YStd: mm.yStd,
+			ResidStd: mm.residStd,
 		})
 	case *Tree:
 		return marshal("tree", treeToJSON(mm))
@@ -239,7 +254,7 @@ func fromEnvelope(env *modelEnvelope) (Model, error) {
 		if err := json.Unmarshal(env.Payload, &lj); err != nil {
 			return nil, err
 		}
-		return &Linear{Weights: lj.Weights, Intercept: lj.Intercept}, nil
+		return &Linear{Weights: lj.Weights, Intercept: lj.Intercept, ResidStd: lj.ResidStd}, nil
 	case "mlp":
 		var mj mlpJSON
 		if err := json.Unmarshal(env.Payload, &mj); err != nil {

@@ -33,6 +33,11 @@ type treeNode struct {
 	left      int32 // index of the left child
 	right     int32 // index of the right child
 	value     float64
+	// spread is the population std of the training targets that reached
+	// this node, recorded at fit time; leaves report it as the tree's
+	// local predictive uncertainty (see PredictDist). Zero on trees loaded
+	// from artifacts that predate the field.
+	spread float64
 }
 
 // Tree is a fitted CART regression tree predicting the mean target of the
@@ -110,7 +115,8 @@ func FitTree(d *Dataset, cfg TreeConfig) (*Tree, error) {
 // build grows the subtree over rows idx and returns its node index.
 func (b *treeBuilder) build(t *Tree, idx []int, depth int) int32 {
 	node := int32(len(t.nodes))
-	t.nodes = append(t.nodes, treeNode{feature: -1, value: mean(b.d.Y, idx)})
+	mu := mean(b.d.Y, idx)
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: mu, spread: stddev(b.d.Y, idx, mu)})
 	if len(idx) < b.cfg.MinSplit || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) || constantTarget(b.d.Y, idx) {
 		return node
 	}
@@ -204,6 +210,16 @@ func mean(y []float64, idx []int) float64 {
 		s += y[i]
 	}
 	return s / float64(len(idx))
+}
+
+// stddev returns the population standard deviation of y over idx around mu.
+func stddev(y []float64, idx []int, mu float64) float64 {
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(idx)))
 }
 
 func constantTarget(y []float64, idx []int) bool {

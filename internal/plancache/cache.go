@@ -2,6 +2,8 @@ package plancache
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,10 +51,18 @@ type Config struct {
 type CachedPlan struct {
 	Fingerprint Fingerprint
 	// ModelVersion is the model artifact version that produced the plan;
-	// the cache key is (Fingerprint, ModelVersion).
+	// the cache key is (Fingerprint, ModelVersion, RiskBand(RiskLambda)).
 	ModelVersion string
-	// Predicted is the model's runtime estimate for the chosen plan.
+	// Predicted is the model's runtime estimate for the chosen plan (the
+	// λ-adjusted selection score on risk-aware runs).
 	Predicted float64
+	// RiskLambda is the risk-aversion weight the plan was optimized under;
+	// hits serve requests whose λ falls in the same band, and the response
+	// echoes this effective λ. Zero for point-estimate plans.
+	RiskLambda float64
+	// PredictedDist is the model's predictive distribution for the plan
+	// (degenerate Lo = Hi = Mean on models without uncertainty).
+	PredictedDist core.CostDist
 	// CachedAt is the insertion timestamp.
 	CachedAt time.Time
 	// AssignCanon maps canonical operator index to the chosen platform
@@ -82,13 +92,15 @@ func FromResult(fp Fingerprint, canon *Canon, modelVersion string, res *core.Res
 		return nil, fmt.Errorf("plancache: assignment covers %d ops, canon %d", len(res.Vector.Assign), canon.NumOps())
 	}
 	cp := &CachedPlan{
-		Fingerprint:  fp,
-		ModelVersion: modelVersion,
-		Predicted:    res.Predicted,
-		CachedAt:     time.Now(),
-		AssignCanon:  make([]uint8, canon.NumOps()),
-		VectorF:      append([]float64(nil), res.Vector.F...),
-		Stats:        res.Stats.Counters(),
+		Fingerprint:   fp,
+		ModelVersion:  modelVersion,
+		Predicted:     res.Predicted,
+		RiskLambda:    res.Risk.Lambda,
+		PredictedDist: res.PredictedDist,
+		CachedAt:      time.Now(),
+		AssignCanon:   make([]uint8, canon.NumOps()),
+		VectorF:       append([]float64(nil), res.Vector.F...),
+		Stats:         res.Stats.Counters(),
 	}
 	for id, ci := range canon.Perm {
 		cp.AssignCanon[ci] = res.Vector.Assign[id]
@@ -242,8 +254,29 @@ func (c *Cache) BandsPerDecade() int { return c.cfg.BandsPerDecade }
 // TTL returns the configured entry time-to-live.
 func (c *Cache) TTL() time.Duration { return c.cfg.TTL }
 
-func key(fp Fingerprint, version string) string {
-	return string(fp[:]) + "\x00" + version
+func key(fp Fingerprint, version, band string) string {
+	if band == "" {
+		return string(fp[:]) + "\x00" + version
+	}
+	return string(fp[:]) + "\x00" + version + "\x00" + band
+}
+
+// RiskBand quantizes a risk-aversion λ to the cache's keying band: plans
+// optimized under close-enough λ values share cache entries instead of
+// fragmenting the cache per float. Bands are 1/8-wide (λ rounds to the
+// nearest 0.125); λ=0 maps to the empty band, so point-estimate requests
+// key exactly as before the risk dimension existed.
+func RiskBand(lambda float64) string {
+	if lambda == 0 {
+		return ""
+	}
+	q := math.Round(lambda*8) / 8
+	if q == 0 {
+		// Tiny but nonzero λ still asks for risk-adjusted scoring; keep it
+		// out of the point-estimate band.
+		q = 0.125
+	}
+	return strconv.FormatFloat(q, 'g', -1, 64)
 }
 
 func (c *Cache) shardFor(fp Fingerprint) *shard {
@@ -298,11 +331,16 @@ func (c *Cache) ActiveVersion() string {
 // Generation returns the current invalidation generation.
 func (c *Cache) Generation() uint64 { return c.gen.Load() }
 
-// Get returns the cached plan for (fp, version), if present, current and
-// unexpired, and marks it most recently used.
+// Get returns the cached plan for (fp, version) in the point-estimate (λ=0)
+// band, if present, current and unexpired, and marks it most recently used.
 func (c *Cache) Get(fp Fingerprint, version string) (*CachedPlan, bool) {
+	return c.GetBand(fp, version, "")
+}
+
+// GetBand is Get within an explicit risk band (see RiskBand).
+func (c *Cache) GetBand(fp Fingerprint, version, band string) (*CachedPlan, bool) {
 	sh := c.shardFor(fp)
-	k := key(fp, version)
+	k := key(fp, version, band)
 	now := time.Now()
 	sh.mu.Lock()
 	e, ok := sh.entries[k]
@@ -359,7 +397,7 @@ func (c *Cache) Put(cp *CachedPlan) bool {
 	}
 	gen := c.gen.Load()
 	sh := c.shardFor(cp.Fingerprint)
-	e := &entry{key: key(cp.Fingerprint, cp.ModelVersion), cp: cp, gen: gen, size: cp.size()}
+	e := &entry{key: key(cp.Fingerprint, cp.ModelVersion, RiskBand(cp.RiskLambda)), cp: cp, gen: gen, size: cp.size()}
 	if c.cfg.TTL > 0 {
 		e.expires = cp.CachedAt.Add(c.cfg.TTL)
 	}

@@ -183,7 +183,7 @@ func (r *Retrainer) RetrainOnce() (Outcome, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.metricsOrNop()
-	fb, firstSeq := r.Feedback.Snapshot()
+	fb, spreads, firstSeq := r.Feedback.SnapshotSpreads()
 	total := firstSeq + int64(fb.Len())
 	m.Gauge("feedback_buffer_len").Set(float64(fb.Len()))
 	if total == r.lastTotal {
@@ -225,6 +225,15 @@ func (r *Retrainer) RetrainOnce() (Outcome, error) {
 		if err := trainSet.Merge(freshTrain); err != nil {
 			return Outcome{}, fmt.Errorf("registry: feedback does not compose with the base dataset: %w", err)
 		}
+	}
+	if dup := oversampleHighSpread(fb, spreads, fbSeen, freshTrain); dup.Len() > 0 {
+		if trainSet == freshTrain {
+			trainSet = freshTrain.Clone()
+		}
+		if err := trainSet.Merge(dup); err != nil {
+			return Outcome{}, fmt.Errorf("registry: oversampled feedback does not compose: %w", err)
+		}
+		m.Counter("retrain_oversampled_total").Add(int64(dup.Len()))
 	}
 	cand, err := r.Train(trainSet)
 	if err != nil {
@@ -281,6 +290,44 @@ func (r *Retrainer) RetrainOnce() (Outcome, error) {
 	out.Promoted = true
 	out.Reason = "promoted"
 	return out, nil
+}
+
+// oversampleHighSpread returns the training rows whose plans the serving
+// model was least certain about — predictive spread above the snapshot's
+// mean positive spread — for one extra inclusion in the candidate's training
+// set. Only rows already destined for training (fbSeen and freshTrain) are
+// duplicated; holdout rows are never touched, so the promotion gate stays
+// unbiased. Row-to-spread matching is by row identity: the snapshot, the
+// seen/fresh slices and the split all share the ring's row allocations.
+// Deterministic — the decision depends only on the buffered spreads.
+func oversampleHighSpread(fb *mlmodel.Dataset, spreads []float64, fbSeen, freshTrain *mlmodel.Dataset) *mlmodel.Dataset {
+	var sum float64
+	n := 0
+	for _, s := range spreads {
+		if s > 0 {
+			sum += s
+			n++
+		}
+	}
+	dup := &mlmodel.Dataset{}
+	if n == 0 {
+		return dup
+	}
+	thr := sum / float64(n)
+	spreadOf := make(map[*float64]float64, len(fb.X))
+	for i, row := range fb.X {
+		if len(row) > 0 {
+			spreadOf[&row[0]] = spreads[i]
+		}
+	}
+	for _, ds := range []*mlmodel.Dataset{fbSeen, freshTrain} {
+		for i, row := range ds.X {
+			if len(row) > 0 && spreadOf[&row[0]] > thr {
+				dup.Append(row, ds.Y[i])
+			}
+		}
+	}
+	return dup
 }
 
 // metricsOrNop returns the configured registry or a throwaway one, so the

@@ -8,10 +8,13 @@
 //   - POST /optimize — optimize a JSON logical plan. Query parameters:
 //     deadline_ms (per-request optimization deadline in milliseconds,
 //     overriding the server default; the request degrades near the deadline
-//     and returns 503 once it is exceeded), simulate=1 (also run the chosen
-//     plan on the simulated cluster) and trace=1 (force-retain the request's
-//     trace and inline its span tree and pruning audit trail in the
-//     response).
+//     and returns 503 once it is exceeded), risk_lambda (risk-aversion
+//     weight λ ≥ 0: plans are scored by predicted mean + λ·spread and
+//     pruning keeps near-ties with overlapping predictive intervals; 0, the
+//     default, is the point-estimate optimizer), simulate=1 (also run the
+//     chosen plan on the simulated cluster) and trace=1 (force-retain the
+//     request's trace and inline its span tree and pruning audit trail in
+//     the response).
 //   - GET /healthz — liveness probe.
 //   - GET /statz — cumulative request counters as JSON.
 //   - GET /metricz — full metrics snapshot (see below);
@@ -44,6 +47,8 @@
 //   - model_rows_total — feature rows sent to the cost oracle across
 //     requests
 //   - memo_hits_total — predictions served from the per-run memo
+//   - interval_kept_total — near-tie plan vectors kept alive by overlap
+//     pruning across risk-aware (risk_lambda > 0) requests
 //   - pool_rounds_total — parallel-enumeration scheduling rounds across
 //     requests
 //   - pool_tasks_total — boundary tasks executed by the enumeration worker
@@ -72,6 +77,10 @@
 // cumulative power-of-two buckets):
 //
 //   - optimize_ms — end-to-end optimization latency per successful request
+//   - plan_spread — the chosen plan's predictive spread (one std of model
+//     uncertainty, seconds) per request
+//   - plan_interval_width — the chosen plan's predictive interval width
+//     (hi − lo, seconds) per request
 //   - vectors_created — plan vectors materialized per request
 //   - model_rows — feature rows sent to the cost oracle per request
 //   - model_batch_rows — average rows per model batch per request (the
@@ -91,6 +100,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -235,8 +245,19 @@ type OptimizeResponse struct {
 	Assignments []string `json:"assignments"`
 	// Conversions lists the data movement operators of the plan.
 	Conversions []ConversionJSON `json:"conversions,omitempty"`
-	// PredictedRuntimeSec is the model's estimate.
+	// PredictedRuntimeSec is the model's estimate (the λ-adjusted selection
+	// score on risk-aware requests).
 	PredictedRuntimeSec float64 `json:"predictedRuntimeSec"`
+	// PredictedLoSec/PredictedHiSec/PredictedSpreadSec describe the model's
+	// predictive interval for the chosen plan; omitted when the model
+	// exposes no uncertainty.
+	PredictedLoSec     float64 `json:"predictedLoSec,omitempty"`
+	PredictedHiSec     float64 `json:"predictedHiSec,omitempty"`
+	PredictedSpreadSec float64 `json:"predictedSpreadSec,omitempty"`
+	// RiskLambda is the effective risk-aversion weight behind this plan: the
+	// request's λ, or — on cache hits — the λ the cached plan was optimized
+	// under (same band, not necessarily the same float).
+	RiskLambda float64 `json:"riskLambda,omitempty"`
 	// SimulatedRuntimeSec is filled when simulate=1 and a cluster is
 	// configured; OOM/aborted runs surface via SimulatedLabel.
 	SimulatedRuntimeSec float64 `json:"simulatedRuntimeSec,omitempty"`
@@ -285,6 +306,7 @@ type StatsJSON struct {
 	ModelRows      int `json:"modelRows"`
 	MemoHits       int `json:"memoHits"`
 	Pruned         int `json:"pruned"`
+	IntervalKept   int `json:"intervalKept,omitempty"`
 	PeakEnumSize   int `json:"peakEnumSize"`
 	PoolRounds     int `json:"poolRounds,omitempty"`
 	PoolTasks      int `json:"poolTasks,omitempty"`
@@ -341,6 +363,20 @@ func (s *Server) deadline(r *http.Request) (time.Duration, error) {
 	return time.Duration(ms) * time.Millisecond, nil
 }
 
+// riskLambda resolves the request's risk-aversion weight from ?risk_lambda=.
+// A malformed, negative or non-finite value is an error.
+func riskLambda(r *http.Request) (float64, error) {
+	q := r.URL.Query().Get("risk_lambda")
+	if q == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(q, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("service: risk_lambda must be a finite non-negative number, got %q", q)
+	}
+	return v, nil
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
 	w.Header().Set("X-Request-Id", reqID)
@@ -350,6 +386,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	deadline, err := s.deadline(r)
+	if err != nil {
+		s.fail(w, reqID, http.StatusBadRequest, err)
+		return
+	}
+	lambda, err := riskLambda(r)
 	if err != nil {
 		s.fail(w, reqID, http.StatusBadRequest, err)
 		return
@@ -377,6 +418,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		budget.SoftDeadline = deadline * 4 / 5
 	}
 	cctx.Budget = budget
+	if lambda != 0 {
+		// Risk-aware request: λ-adjusted scoring plus overlap pruning, so
+		// near-ties the model cannot separate survive to the final selection.
+		cctx.Risk = core.Risk{Lambda: lambda, KeepOverlap: true}
+	}
 
 	// Fingerprint the plan up front when a cache is configured: the
 	// canonical hash is a few microseconds against the enumeration's
@@ -426,8 +472,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := p.Get()
+	riskBand := plancache.RiskBand(lambda)
 	if useCache {
-		if cp, ok := s.PlanCache.Get(fp, snap.Version()); ok {
+		if cp, ok := s.PlanCache.GetBand(fp, snap.Version(), riskBand); ok {
 			if s.serveCached(w, r, reqID, start, l, cp, canon, snap.Version(), tr, wantTrace, "hit") {
 				return
 			}
@@ -444,7 +491,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// serve the shared plan as "collapsed".
 		var cp *plancache.CachedPlan
 		var followed bool
-		cp, followed, err = s.PlanCache.Do(ctx, fp, snap.Version(), func() (*plancache.CachedPlan, error) {
+		cp, followed, err = s.PlanCache.DoBand(ctx, fp, snap.Version(), riskBand, func() (*plancache.CachedPlan, error) {
 			lr, lerr := cctx.OptimizeProvider(ctx, snap)
 			if lerr != nil {
 				return nil, lerr
@@ -499,6 +546,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		RequestID:           reqID,
 		ModelVersion:        snap.Version(),
 		PredictedRuntimeSec: res.Predicted,
+		PredictedLoSec:      res.PredictedDist.Lo,
+		PredictedHiSec:      res.PredictedDist.Hi,
+		PredictedSpreadSec:  res.PredictedDist.Spread,
+		RiskLambda:          lambda,
 		Degraded:            res.Degraded,
 		DegradeReason:       res.Stats.DegradeReason,
 		Stats: StatsJSON{
@@ -508,6 +559,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			ModelRows:      res.Stats.ModelRows,
 			MemoHits:       res.Stats.MemoHits,
 			Pruned:         res.Stats.Pruned,
+			IntervalKept:   res.Stats.IntervalKept,
 			PeakEnumSize:   res.Stats.PeakEnumSize,
 			PoolRounds:     res.Stats.Par.Rounds,
 			PoolTasks:      res.Stats.Par.Tasks,
@@ -536,10 +588,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		resp.SimulatedRuntimeSec = run.Runtime
 		resp.SimulatedLabel = run.Label()
 		// Execution feedback: the chosen plan's vector paired with its
-		// observed runtime feeds the retraining loop. Failed runs carry no
-		// usable runtime label and are skipped.
+		// observed runtime feeds the retraining loop, tagged with the
+		// model's predictive spread so retraining can prioritize the plans
+		// the model was least certain about. Failed runs carry no usable
+		// runtime label and are skipped.
 		if s.Feedback != nil && res.Vector != nil && !run.Failed() {
-			if err := s.Feedback.Add(res.Vector.F, run.Runtime); err != nil {
+			if err := s.Feedback.AddWithSpread(res.Vector.F, run.Runtime, res.PredictedDist.Spread); err != nil {
 				s.Metrics().Counter("feedback_rejected_total").Inc()
 			} else {
 				s.Metrics().Counter("feedback_samples_total").Inc()
@@ -611,6 +665,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, reqID strin
 		ServedModelVersion:  cp.ModelVersion,
 		CachedAt:            cp.CachedAt.UTC().Format(time.RFC3339Nano),
 		PredictedRuntimeSec: cp.Predicted,
+		PredictedLoSec:      cp.PredictedDist.Lo,
+		PredictedHiSec:      cp.PredictedDist.Hi,
+		PredictedSpreadSec:  cp.PredictedDist.Spread,
+		RiskLambda:          cp.RiskLambda,
 		StageMs:             map[string]float64{},
 		OptimizationMs:      float64(time.Since(start).Microseconds()) / 1000,
 	}
@@ -632,7 +690,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, reqID strin
 		// Cache hits still contribute execution feedback: the cached plan
 		// vector pairs with this run's observed runtime.
 		if s.Feedback != nil && len(cp.VectorF) > 0 && !run.Failed() {
-			if err := s.Feedback.Add(cp.VectorF, run.Runtime); err != nil {
+			if err := s.Feedback.AddWithSpread(cp.VectorF, run.Runtime, cp.PredictedDist.Spread); err != nil {
 				s.Metrics().Counter("feedback_rejected_total").Inc()
 			} else {
 				s.Metrics().Counter("feedback_samples_total").Inc()
@@ -688,6 +746,9 @@ func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	m.Counter("model_batches_total").Add(int64(res.Stats.ModelBatches))
 	m.Counter("model_rows_total").Add(int64(res.Stats.ModelRows))
 	m.Counter("memo_hits_total").Add(int64(res.Stats.MemoHits))
+	m.Counter("interval_kept_total").Add(int64(res.Stats.IntervalKept))
+	m.Histogram("plan_spread").Observe(res.PredictedDist.Spread)
+	m.Histogram("plan_interval_width").Observe(res.PredictedDist.Hi - res.PredictedDist.Lo)
 	m.Counter("pool_rounds_total").Add(int64(res.Stats.Par.Rounds))
 	m.Counter("pool_tasks_total").Add(int64(res.Stats.Par.Tasks))
 	m.Counter("pool_steals_total").Add(int64(res.Stats.Par.Steals))

@@ -89,6 +89,11 @@ type (
 	PlanCacheConfig = plancache.Config
 	// PlanFingerprint is the canonical structural hash of a plan.
 	PlanFingerprint = plancache.Fingerprint
+	// CostDist is the model's runtime prediction as a distribution: the
+	// point estimate (mean), a dispersion proxy (spread), and a central
+	// 90% interval [lo, hi]. Point-only models report zero spread with
+	// lo = hi = mean.
+	CostDist = core.CostDist
 )
 
 // Platforms.
@@ -250,6 +255,14 @@ type Optimizer struct {
 	// one cache across optimizers only if they use the same platform
 	// universe and availability matrix.
 	Cache *PlanCache
+
+	// RiskLambda makes plan selection risk-aware: candidates are scored by
+	// predicted mean + RiskLambda·spread, and boundary pruning keeps
+	// near-tie vectors whose prediction intervals overlap the per-footprint
+	// winner's. 0 (the default) reproduces point-estimate optimization
+	// bit-for-bit. Cached plans are keyed per λ band, so optimizers with
+	// different RiskLambda values can safely share one Cache.
+	RiskLambda float64
 }
 
 // NewPlanCache returns a bounded plan cache for Optimizer.Cache (and for
@@ -323,6 +336,14 @@ type Result struct {
 	Execution *Execution
 	// PredictedRuntime is the model's estimate for it, in seconds.
 	PredictedRuntime float64
+	// PredictedDist is the distributional form of PredictedRuntime: the
+	// mean with a spread and a central 90% interval. Zero spread with
+	// lo = hi = mean when the model offers no uncertainty signal.
+	PredictedDist CostDist
+	// RiskLambda is the λ the plan was optimized under (the optimizer's
+	// RiskLambda, or — on cache hits — the λ of the request that produced
+	// the cached plan, which shares the same λ band).
+	RiskLambda float64
 	// Degraded reports that the optimizer's Budget was exhausted and the
 	// plan is best-effort rather than enumeration-optimal.
 	Degraded bool
@@ -354,15 +375,24 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, p *Plan) (*Result, erro
 	}
 	c.Workers = o.Workers
 	c.Budget = o.Budget
+	if o.RiskLambda != 0 {
+		c.Risk = core.Risk{Lambda: o.RiskLambda, KeepOverlap: true}
+	}
 	var (
 		fp    PlanFingerprint
 		canon *plancache.Canon
 	)
 	if o.Cache != nil {
 		if fp, canon, err = plancache.Compute(p, o.platforms, o.avail, o.Cache.BandsPerDecade()); err == nil {
-			if cp, ok := o.Cache.Get(fp, o.Cache.ActiveVersion()); ok {
+			if cp, ok := o.Cache.GetBand(fp, o.Cache.ActiveVersion(), plancache.RiskBand(o.RiskLambda)); ok {
 				if x, merr := cp.Materialize(p, canon, o.platforms); merr == nil {
-					return &Result{Execution: x, PredictedRuntime: cp.Predicted, FromCache: true}, nil
+					return &Result{
+						Execution:        x,
+						PredictedRuntime: cp.Predicted,
+						PredictedDist:    cp.PredictedDist,
+						RiskLambda:       cp.RiskLambda,
+						FromCache:        true,
+					}, nil
 				}
 			}
 		}
@@ -376,7 +406,14 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, p *Plan) (*Result, erro
 			o.Cache.Put(cp)
 		}
 	}
-	return &Result{Execution: res.Execution, PredictedRuntime: res.Predicted, Degraded: res.Degraded, Stats: res.Stats}, nil
+	return &Result{
+		Execution:        res.Execution,
+		PredictedRuntime: res.Predicted,
+		PredictedDist:    res.PredictedDist,
+		RiskLambda:       res.Risk.Lambda,
+		Degraded:         res.Degraded,
+		Stats:            res.Stats,
+	}, nil
 }
 
 // OptimizeSinglePlatform returns the best plan that uses exactly one

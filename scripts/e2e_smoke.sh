@@ -145,6 +145,28 @@ curl -sf "$BASE/modelz" > "$WORK/modelz.json"
 [ "$(jget "$WORK/modelz.json" "d['store']['active']")" = "v2" ] \
   || die "store ACTIVE marker not moved to v2"
 
+say "optimizing risk-aware (?risk_lambda=0.5) and checking the interval"
+curl -sf -D "$WORK/risk.h" -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize?risk_lambda=0.5" > "$WORK/risk.json"
+[ "$(jget "$WORK/risk.json" "d['riskLambda']")" = "0.5" ] \
+  || die "risk-aware response does not echo riskLambda: $(cat "$WORK/risk.json")"
+[ "$(jget "$WORK/risk.json" "d['predictedSpreadSec'] > 0")" = "True" ] \
+  || die "risk-aware response carries no predictive spread"
+[ "$(jget "$WORK/risk.json" "d['predictedLoSec'] <= d['predictedRuntimeSec'] <= d['predictedHiSec']")" = "True" ] \
+  || die "prediction interval does not bracket the point estimate"
+grep -qi '^x-cache: miss' "$WORK/risk.h" \
+  || die "risk-aware request hit the point-estimate cache band"
+[ "$(curl -s -o /dev/null -w '%{http_code}' -XPOST --data-binary @"$WORK/query.json" \
+  "$BASE/optimize?risk_lambda=bogus")" = "400" ] \
+  || die "malformed risk_lambda not rejected with 400"
+
+say "checking risk metrics on /metricz"
+curl -sf "$BASE/metricz" > "$WORK/metricz2.json"
+[ "$(jget "$WORK/metricz2.json" "d['histograms']['plan_spread']['count'] >= 1")" = "True" ] \
+  || die "plan_spread histogram not observed"
+[ "$(jget "$WORK/metricz2.json" "d['histograms']['plan_interval_width']['count'] >= 1")" = "True" ] \
+  || die "plan_interval_width histogram not observed"
+
 say "tracing an optimization and reading it back from /tracez"
 # nocache=1: a cache hit is a one-span trace with no pruning audit.
 curl -sf -XPOST --data-binary @"$WORK/query.json" \
