@@ -17,10 +17,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -31,13 +31,13 @@ func main() {
 		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		quick   = flag.Bool("quick", false, "train a small model (fast, less faithful)")
 		csvDir  = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism for the Robopt runs (results are worker-count invariant)")
+		workers = flag.Int("workers", 0, "enumeration parallelism for the Robopt runs (0 = all CPUs; results are worker-count invariant)")
 	)
 	flag.Parse()
 
 	h := experiments.NewHarness()
 	h.Quick = *quick
-	h.Workers = *workers
+	h.Workers = core.ResolveWorkers(*workers)
 
 	type experiment struct {
 		id  string

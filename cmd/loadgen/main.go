@@ -1,0 +1,343 @@
+// Command loadgen drives sustained mixed traffic against one or more
+// roboptd replicas and writes a BENCH_serving.json summary — the harness
+// behind the serving-layer numbers in EXPERIMENTS.md.
+//
+//	loadgen -replicas http://localhost:8080,http://localhost:8081 \
+//	        -rate 100 -duration 30s -out BENCH_serving.json
+//
+// Arrivals are open-loop: requests start at -rate per second regardless of
+// how fast responses come back, so server-side admission control is
+// actually exercised — a closed-loop client would self-throttle and never
+// see a 429. Requests round-robin across -replicas, and each response's
+// model version is tallied, so promoting a model on one replica mid-run
+// shows up as the fleet's version mix shifting.
+//
+// The plan mix cycles through a weighted set of workload shapes
+// (-mix name=weight,...): "example" (the paper's running example),
+// "pipeline", "jointree" and "random". Random plans are drawn from
+// -distinct seeds, which controls how much the plan cache can help; the
+// other shapes are structurally constant and cache-hot after one request
+// each per model version.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		replicasF   = flag.String("replicas", "http://localhost:8080", "comma-separated replica base URLs; requests round-robin across them")
+		rate        = flag.Float64("rate", 50, "open-loop arrival rate, requests per second")
+		duration    = flag.Duration("duration", 30*time.Second, "how long to offer load")
+		mixF        = flag.String("mix", "example=2,pipeline=1,jointree=1,random=2", "weighted plan mix: name=weight[,name=weight...]; names: example, pipeline, jointree, random")
+		distinct    = flag.Int("distinct", 16, "distinct random-plan variants (higher = colder plan cache)")
+		deadlineMS  = flag.Int("deadline-ms", 0, "per-request ?deadline_ms= (0 = server default)")
+		riskLambda  = flag.Float64("risk-lambda", 0, "per-request ?risk_lambda=")
+		maxInflight = flag.Int("max-inflight", 512, "client-side cap on in-flight requests; arrivals beyond it are counted as skipped, not sent")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		outPath     = flag.String("out", "BENCH_serving.json", "write the JSON summary here")
+		seed        = flag.Int64("seed", 1, "seed for the plan mix and random plans")
+		showVersion = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("loadgen"))
+		return
+	}
+	replicas := strings.Split(*replicasF, ",")
+	for i := range replicas {
+		replicas[i] = strings.TrimRight(strings.TrimSpace(replicas[i]), "/")
+	}
+	if len(replicas) == 0 || replicas[0] == "" {
+		log.Fatal("-replicas must name at least one base URL")
+	}
+	if *rate <= 0 {
+		log.Fatal("-rate must be positive")
+	}
+
+	bodies, names, err := planMix(*mixF, *distinct, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := url(*deadlineMS, *riskLambda)
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		status    = map[int]int64{}
+		cache     = map[string]int64{}
+		versions  = map[string]int64{}
+		byReplica = make([]int64, len(replicas))
+		shed      int64
+		degraded  int64
+		transport int64
+	)
+	var inflight atomic.Int64
+	var offered, skipped int64
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(*seed))
+
+	log.Printf("offering %.0f req/s for %v across %d replica(s), %d plan shapes",
+		*rate, *duration, len(replicas), len(bodies))
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	stop := time.After(*duration)
+	start := time.Now()
+
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			offered++
+			if inflight.Load() >= int64(*maxInflight) {
+				skipped++
+				continue
+			}
+			i := int(offered)
+			body := bodies[rng.Intn(len(bodies))]
+			target := replicas[i%len(replicas)]
+			inflight.Add(1)
+			wg.Add(1)
+			go func(replica int, target string, body []byte) {
+				defer wg.Done()
+				defer inflight.Add(-1)
+				t0 := time.Now()
+				resp, err := client.Post(target+"/optimize"+query, "application/json", bytes.NewReader(body))
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil {
+					mu.Lock()
+					transport++
+					mu.Unlock()
+					return
+				}
+				var or struct {
+					ModelVersion  string `json:"modelVersion"`
+					Degraded      bool   `json:"degraded"`
+					DegradeReason string `json:"degradeReason"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&or)
+				resp.Body.Close()
+				mu.Lock()
+				status[resp.StatusCode]++
+				byReplica[replica]++
+				if resp.StatusCode == http.StatusOK {
+					latencies = append(latencies, ms)
+					if c := resp.Header.Get("X-Cache"); c != "" {
+						cache[c]++
+					}
+					if or.ModelVersion != "" {
+						versions[or.ModelVersion]++
+					}
+					if or.Degraded {
+						degraded++
+					}
+					if or.DegradeReason == "load-shed" {
+						shed++
+					}
+				}
+				mu.Unlock()
+			}(i%len(replicas), target, body)
+		}
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	ok := status[http.StatusOK]
+	var rejected int64
+	for code, n := range status {
+		if code == http.StatusTooManyRequests {
+			rejected += n
+		}
+	}
+	sent := offered - skipped
+	summary := map[string]any{
+		"config": map[string]any{
+			"replicas":   replicas,
+			"rateRps":    *rate,
+			"durationMs": duration.Milliseconds(),
+			"mix":        names,
+			"distinct":   *distinct,
+			"deadlineMs": *deadlineMS,
+			"riskLambda": *riskLambda,
+			"seed":       *seed,
+		},
+		"offered":         offered,
+		"sent":            sent,
+		"skippedInflight": skipped,
+		"transportErrors": transport,
+		"status":          statusKeys(status),
+		"ok":              ok,
+		"rejected429":     rejected,
+		"throughputRps":   float64(ok) / elapsed.Seconds(),
+		"latencyMs": map[string]any{
+			"p50": percentile(latencies, 0.50),
+			"p90": percentile(latencies, 0.90),
+			"p99": percentile(latencies, 0.99),
+			"max": percentile(latencies, 1),
+		},
+		"cache":         cache,
+		"cacheHitRate":  rate3(cache["hit"]+cache["collapsed"], ok),
+		"degraded":      degraded,
+		"degradedRate":  rate3(degraded, ok),
+		"shed":          shed,
+		"shedRate":      rate3(shed, ok),
+		"rejectedRate":  rate3(rejected, sent),
+		"modelVersions": versions,
+		"perReplica":    byReplica,
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d ok / %d sent (%.1f req/s), p50 %.1fms p99 %.1fms, cache-hit %.0f%%, shed %d, 429 %d -> %s",
+		ok, sent, float64(ok)/elapsed.Seconds(),
+		percentile(latencies, 0.5), percentile(latencies, 0.99),
+		100*rate3(cache["hit"]+cache["collapsed"], ok), shed, rejected, *outPath)
+	if ok == 0 {
+		os.Exit(1)
+	}
+}
+
+// planMix parses "name=weight,..." into a weighted pool of marshaled plan
+// bodies. Random plans expand into `distinct` seeded variants sharing the
+// shape's weight.
+func planMix(mix string, distinct int, seed int64) ([][]byte, []string, error) {
+	if distinct < 1 {
+		distinct = 1
+	}
+	var bodies [][]byte
+	var names []string
+	add := func(l *plan.Logical, weight int, name string) error {
+		data, err := plan.MarshalJSONPlan(l)
+		if err != nil {
+			return fmt.Errorf("marshal %s: %w", name, err)
+		}
+		for i := 0; i < weight; i++ {
+			bodies = append(bodies, data)
+		}
+		if name != "" {
+			names = append(names, name)
+		}
+		return nil
+	}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 0 {
+				return nil, nil, fmt.Errorf("loadgen: bad weight in mix entry %q", part)
+			}
+			weight = w
+		}
+		if weight == 0 {
+			continue
+		}
+		var err error
+		switch name {
+		case "example":
+			err = add(workload.RunningExample(), weight, part)
+		case "pipeline":
+			err = add(workload.Pipeline(12, 1e9), weight, part)
+		case "jointree":
+			err = add(workload.JoinTree(5, 1e9), weight, part)
+		case "random":
+			for i := 0; i < distinct && err == nil; i++ {
+				err = add(workload.RandomDAG(14, 1e9, seed+int64(i)), weight, "")
+			}
+			names = append(names, fmt.Sprintf("%s x%d", part, distinct))
+		default:
+			return nil, nil, fmt.Errorf("loadgen: unknown mix shape %q (want example, pipeline, jointree or random)", name)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, nil, fmt.Errorf("loadgen: the plan mix %q selects no plans", mix)
+	}
+	return bodies, names, nil
+}
+
+// url renders the shared query string of every request.
+func url(deadlineMS int, lambda float64) string {
+	var parts []string
+	if deadlineMS > 0 {
+		parts = append(parts, "deadline_ms="+strconv.Itoa(deadlineMS))
+	}
+	if lambda > 0 {
+		parts = append(parts, "risk_lambda="+strconv.FormatFloat(lambda, 'g', -1, 64))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "?" + strings.Join(parts, "&")
+}
+
+// statusKeys renders the status histogram with string keys so the JSON is
+// stable and self-describing.
+func statusKeys(in map[int]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for code, n := range in {
+		out[strconv.Itoa(code)] = n
+	}
+	return out
+}
+
+// percentile returns the p-th percentile (0..1) of the samples, 0 when
+// empty. The slice is sorted in place.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	i := int(p*float64(len(samples))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(samples) {
+		i = len(samples) - 1
+	}
+	return samples[i]
+}
+
+// rate3 is n/d rounded to 3 decimals, 0 when d is 0.
+func rate3(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(int64(1000*float64(n)/float64(d)+0.5)) / 1000
+}

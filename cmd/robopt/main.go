@@ -24,7 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
+
 	"time"
 
 	"repro/internal/buildinfo"
@@ -56,7 +56,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "abort the optimization after this long (0 = none); combine with -budget-* to degrade instead")
 		budgetVec = flag.Int("budget-vectors", 0, "degrade after materializing this many plan vectors (0 = unlimited)")
 		budgetMC  = flag.Int("budget-model-calls", 0, "degrade after this many cost-oracle feature rows (0 = unlimited)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism (plans are identical for any value)")
+		workers   = flag.Int("workers", 0, "enumeration parallelism (0 = all CPUs; plans are identical for any value)")
 		riskL     = flag.Float64("risk-lambda", 0, "risk aversion λ: score plans by mean + λ·spread and keep near-ties with overlapping prediction intervals (0 = point-estimate optimization; multi mode only)")
 		example   = flag.Bool("print-example-plan", false, "print the paper's running-example logical plan as JSON and exit")
 		explain   = flag.String("explain", "", "trace the optimization and print an explanation report: text or json (multi mode only)")
@@ -67,6 +67,8 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("robopt"))
+		fmt.Printf("workers: %d (from -workers %d; 0 resolves to runtime.GOMAXPROCS)\n",
+			core.ResolveWorkers(*workers), *workers)
 		return
 	}
 	if *explain != "" && *explain != "text" && *explain != "json" {
@@ -197,7 +199,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctx.Workers = *workers
+		ctx.Workers = core.ResolveWorkers(*workers)
 		ctx.Budget = core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC}
 		if *riskL < 0 {
 			log.Fatalf("-risk-lambda must be >= 0, got %g", *riskL)

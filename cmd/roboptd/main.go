@@ -30,6 +30,28 @@
 // X-Cache header; ?nocache=1 bypasses the cache per request; GET /cachez
 // and POST /cachez/purge administer it.
 //
+// # Running a replica fleet
+//
+// N roboptd processes pointed at one shared -model-dir behave as a
+// converging fleet: each replica polls the store's ACTIVE marker every
+// -store-watch-interval and hot-swaps in any version promoted by another
+// replica, an operator, or a background retrainer — promote once, converge
+// everywhere, no restarts. GET /healthz is the liveness probe and
+// GET /readyz the readiness probe (503 while draining or without a servable
+// artifact), so a load balancer can gate traffic per replica.
+//
+// # Admission control
+//
+// The optimize endpoints sit behind a bounded admission layer: at most
+// -admit-concurrency request units optimize at once, at most -admit-queue
+// wait for a slot (honoring their deadlines), and everything beyond that is
+// refused with 429 + Retry-After. Requests that queue behind a backlog past
+// -shed-threshold of the queue are served the degraded beam (the plan is
+// marked degraded with reason "load-shed") so overload drains instead of
+// compounding. POST /optimize/batch admits a whole plan slice as one unit,
+// deduplicates members by canonical fingerprint, and fans the remainder
+// across the enumeration pool.
+//
 // # Observability
 //
 // Each request records a span trace keyed by its request ID; notable traces
@@ -49,7 +71,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -74,7 +95,7 @@ func main() {
 		modelDir    = flag.String("model-dir", "", "artifact store directory backing /modelz/reload and /modelz/promote")
 		nPlats      = flag.Int("platforms", platform.NumPlatforms, "number of platforms (2-5)")
 		quick       = flag.Bool("quick", false, "train a small model on startup (fast, less faithful)")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "enumeration parallelism")
+		workers     = flag.Int("workers", 0, "enumeration parallelism (0 = all CPUs, runtime.GOMAXPROCS)")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request optimization deadline (override per request with ?deadline_ms=)")
 		budgetVec   = flag.Int("budget-vectors", 0, "degrade enumeration after this many plan vectors (0 = unlimited)")
 		budgetMC    = flag.Int("budget-model-calls", 0, "degrade enumeration after this many cost-oracle feature rows (0 = unlimited)")
@@ -91,11 +112,18 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", plancache.DefaultMaxBytes, "plan cache capacity in accounted bytes")
 		cacheTTL    = flag.Duration("cache-ttl", 10*time.Minute, "plan cache entry time-to-live (0 = no expiry)")
 		shutdownGr  = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests after SIGINT/SIGTERM")
+		watchIntv   = flag.Duration("store-watch-interval", registry.DefaultWatchInterval, "poll -model-dir for promotions by other replicas at this period (0 = disabled)")
+		admitConc   = flag.Int("admit-concurrency", 0, "max concurrently optimizing request units (0 = 2x CPUs, negative = no admission control)")
+		admitQueue  = flag.Int("admit-queue", 0, "max request units waiting for an admission slot; beyond it requests get 429 (0 = 4x concurrency, negative = no queue)")
+		shedThresh  = flag.Float64("shed-threshold", service.DefaultShedFraction, "queue-occupancy fraction past which admitted requests are shed to the degraded beam (>= 1 disables shedding)")
+		batchMax    = flag.Int("batch-members", service.DefaultMaxBatchMembers, "max plans accepted by one POST /optimize/batch call")
 		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(buildinfo.String("roboptd"))
+		fmt.Printf("workers: %d (from -workers %d; 0 resolves to runtime.GOMAXPROCS)\n",
+			core.ResolveWorkers(*workers), *workers)
 		return
 	}
 
@@ -205,9 +233,19 @@ func main() {
 		DefaultDeadline: *deadline,
 		Budget:          core.Budget{MaxVectors: *budgetVec, MaxModelCalls: *budgetMC},
 		MaxBodyBytes:    *maxBody,
+		MaxBatchMembers: *batchMax,
 		Tracer:          obs.NewTracer(*traceCap, *traceSample, *traceSlow),
 		Logger:          logger,
 		EnablePprof:     *pprofFlag,
+	}
+	if *admitConc >= 0 {
+		srv.Admission = &service.Admission{
+			MaxConcurrent: *admitConc,
+			MaxQueue:      *admitQueue,
+			ShedFraction:  *shedThresh,
+		}
+		logger.Info("admission control enabled",
+			"concurrency", *admitConc, "queue", *admitQueue, "shedThreshold", *shedThresh)
 	}
 
 	if *cacheSize > 0 {
@@ -267,6 +305,18 @@ func main() {
 		logger.Info("retraining enabled", "interval", *retrainIntv, "feedbackCap", feedback.Cap())
 	}
 
+	// Store watcher: converge on promotions made by other replicas (or this
+	// replica's own retrainer — that swap is a no-op here because the hash
+	// and version already match).
+	var watcherDone <-chan struct{}
+	if store != nil && *watchIntv > 0 {
+		watcherDone, err = srv.StartStoreWatcher(rootCtx, *watchIntv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("store watcher enabled", "dir", *modelDir, "interval", *watchIntv)
+	}
+
 	// The write timeout leaves headroom over the optimization deadline so a
 	// degraded-or-timed-out response can still be written; the read timeout
 	// bounds slow-loris plan uploads.
@@ -280,8 +330,9 @@ func main() {
 	}
 	logger.Info("serving",
 		"addr", *addr,
-		"endpoints", "POST /optimize, GET /healthz, GET /statz, GET /metricz, GET /tracez, GET /modelz, GET /cachez",
+		"endpoints", "POST /optimize, POST /optimize/batch, GET /healthz, GET /readyz, GET /statz, GET /metricz, GET /tracez, GET /modelz, GET /cachez",
 		"model", art.Version,
+		"workers", core.ResolveWorkers(*workers),
 		"deadline", *deadline,
 		"traceSample", *traceSample,
 		"pprof", *pprofFlag,
@@ -300,6 +351,9 @@ func main() {
 	// cancelled via rootCtx) to wind down. A second signal kills the
 	// process the default way because stop() restored default handling.
 	stop()
+	// Flip readiness first so a load balancer polling /readyz stops routing
+	// new traffic here while in-flight requests drain.
+	srv.SetReady(false)
 	logger.Info("shutdown signal received; draining", "grace", *shutdownGr)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGr)
 	defer cancel()
@@ -307,6 +361,10 @@ func main() {
 	if retrainerDone != nil {
 		<-retrainerDone
 		logger.Info("retrainer stopped")
+	}
+	if watcherDone != nil {
+		<-watcherDone
+		logger.Info("store watcher stopped")
 	}
 	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
 		logger.Error("drain incomplete; open connections were cut", "err", drainErr)

@@ -42,11 +42,22 @@ type Budget struct {
 	// DegradedCap is the number of vectors each enumeration keeps once the
 	// budget is exhausted. 0 means the default of 8.
 	DegradedCap int
+	// ForceDegraded starts the run already degraded: every enumeration is
+	// truncated to the DegradedCap beam from the first concatenation on, so
+	// the run costs a small, bounded amount of work regardless of the plan.
+	// This is the serving layer's load-shedding mode — under admission
+	// pressure a request is answered with the beam's best-effort plan
+	// (DegradeReason "load-shed") instead of being refused outright.
+	ForceDegraded bool
 }
+
+// ShedReason is the DegradeReason reported by runs degraded up front via
+// ForceDegraded rather than by exhausting a budget dimension mid-run.
+const ShedReason = "load-shed"
 
 // Active reports whether any budget dimension is set.
 func (b Budget) Active() bool {
-	return b.MaxVectors > 0 || b.MaxModelCalls > 0 || b.SoftDeadline > 0
+	return b.MaxVectors > 0 || b.MaxModelCalls > 0 || b.SoftDeadline > 0 || b.ForceDegraded
 }
 
 // cap returns the degraded-mode beam width.
@@ -62,6 +73,9 @@ func (b Budget) cap() int {
 // about to be materialized, so a single oversized cartesian product trips
 // the budget before allocating, not after.
 func (b Budget) exhausted(st *Stats, start time.Time, projected int) string {
+	if b.ForceDegraded {
+		return ShedReason
+	}
 	if b.MaxVectors > 0 && st.VectorsCreated+projected > b.MaxVectors {
 		return "max-vectors"
 	}

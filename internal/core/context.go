@@ -2,11 +2,25 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/platform"
 )
+
+// ResolveWorkers maps a worker-count setting to the effective enumeration
+// parallelism: positive values are taken as-is, zero and negative values
+// resolve to runtime.GOMAXPROCS(0). Every entry point that accepts a
+// -workers flag (roboptd, robopt, benchharness) and the serving layer
+// resolve through this one function so "auto" means the same thing
+// everywhere, and the resolved value is what /statz and -version report.
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // CostModel is the oracle m of the prune operation (Section IV-E): "it can
 // be a cost model, an ML model, or even a pricing catalogue". Robopt

@@ -49,6 +49,20 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Load returns the current value.
 func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Add atomically adds d to the gauge (CAS loop; d may be negative). This is
+// what up/down occupancy gauges — queue depths, in-flight request counts —
+// use, where concurrent increments and decrements must not lose updates the
+// way a Load+Set pair would.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // numBuckets is the fixed number of histogram buckets. Bucket i collects
 // values in (2^(i-1), 2^i]; bucket 0 collects everything ≤ 1 and the last
 // bucket is a catch-all for the long tail. With 40 buckets the histogram

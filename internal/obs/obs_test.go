@@ -128,3 +128,31 @@ func TestGauge(t *testing.T) {
 		t.Fatalf("snapshot gauges = %v", s.Gauges)
 	}
 }
+
+// TestGaugeAdd: concurrent up/down deltas must not lose updates — the
+// admission queue-depth gauge depends on this.
+func TestGaugeAdd(t *testing.T) {
+	var g obs.Gauge
+	g.Set(10)
+	g.Add(2.5)
+	g.Add(-0.5)
+	if got := g.Load(); got != 12 {
+		t.Fatalf("gauge after adds = %g, want 12", got)
+	}
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 12 {
+		t.Fatalf("gauge after balanced concurrent adds = %g, want 12", got)
+	}
+}

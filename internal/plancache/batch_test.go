@@ -1,0 +1,96 @@
+package plancache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGetBandBatch: the batched sweep must agree with per-member Gets —
+// hits for inserted fingerprints (including duplicates within the batch),
+// misses elsewhere, and hit/miss accounting equal to member count.
+func TestGetBandBatch(t *testing.T) {
+	c := New(Config{})
+	a, b := fab(1, "v1", 4), fab(2, "v1", 4)
+	if !c.Put(a) || !c.Put(b) {
+		t.Fatal("Put rejected fresh entries")
+	}
+	var missing Fingerprint
+	missing[0] = 99
+
+	fps := []Fingerprint{a.Fingerprint, missing, b.Fingerprint, a.Fingerprint}
+	got := c.GetBandBatch(fps, "v1", "")
+	if len(got) != 4 {
+		t.Fatalf("result length %d, want 4", len(got))
+	}
+	if got[0] != a || got[3] != a {
+		t.Fatalf("duplicate members did not both resolve to a's entry: %v", got)
+	}
+	if got[2] != b {
+		t.Fatal("member 2 did not hit b")
+	}
+	if got[1] != nil {
+		t.Fatal("unknown fingerprint hit")
+	}
+	st := c.Snapshot()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("accounting hits=%d misses=%d, want 3/1", st.Hits, st.Misses)
+	}
+
+	// Version isolation: the whole batch misses under another version.
+	got = c.GetBandBatch(fps, "v2", "")
+	for i, cp := range got {
+		if cp != nil {
+			t.Fatalf("member %d hit under the wrong version", i)
+		}
+	}
+}
+
+// TestGetBandBatchInvalidation: entries from an outdated generation are
+// swept by the batch lookup exactly as Get would.
+func TestGetBandBatchInvalidation(t *testing.T) {
+	c := New(Config{})
+	c.Activate("v1")
+	a := fab(7, "v1", 2)
+	if !c.Put(a) {
+		t.Fatal("Put rejected a current-version entry")
+	}
+	c.Activate("v2")
+	got := c.GetBandBatch([]Fingerprint{a.Fingerprint}, "v1", "")
+	if got[0] != nil {
+		t.Fatal("stale-generation entry served by batch lookup")
+	}
+	if st := c.Snapshot(); st.Invalidated == 0 {
+		t.Fatal("invalidation not accounted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not reclaimed: %d live", c.Len())
+	}
+}
+
+// TestGetBandBatchTTL: expired entries miss and are reclaimed.
+func TestGetBandBatchTTL(t *testing.T) {
+	c := New(Config{TTL: time.Millisecond})
+	a := fab(3, "v1", 2)
+	a.CachedAt = time.Now().Add(-time.Second)
+	if !c.Put(a) {
+		t.Fatal("Put rejected entry")
+	}
+	got := c.GetBandBatch([]Fingerprint{a.Fingerprint}, "v1", "")
+	if got[0] != nil {
+		t.Fatal("expired entry served")
+	}
+	if st := c.Snapshot(); st.Expired == 0 {
+		t.Fatal("expiry not accounted")
+	}
+}
+
+// TestGetBandBatchEmpty: a zero-member batch is a no-op.
+func TestGetBandBatchEmpty(t *testing.T) {
+	c := New(Config{})
+	if got := c.GetBandBatch(nil, "v1", ""); len(got) != 0 {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	if st := c.Snapshot(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatal("empty batch changed accounting")
+	}
+}

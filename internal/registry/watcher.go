@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// DefaultWatchInterval is the store-poll period replicas use when the
+// caller does not pick one.
+const DefaultWatchInterval = 2 * time.Second
+
+// Watcher polls a shared artifact store for promotions made by other
+// processes: N replicas point at one -model-dir, any one of them (or an
+// operator, or a background retrainer) promotes a version, and every other
+// replica's watcher notices the ACTIVE marker change within one poll
+// interval and fires OnChange — the convergence half of running the same
+// binary as a fleet.
+//
+// Change detection is cheap by design: one os.Stat of the ACTIVE marker per
+// tick, reading the marker only when its mtime (or existence) changed.
+// Because the store writes the marker atomically (write-temp + rename), a
+// watcher never observes a half-written version name. The marker's content
+// is compared too, so promotions faster than the filesystem's mtime
+// granularity still converge.
+type Watcher struct {
+	// Store is the shared artifact store to watch.
+	Store *Store
+	// Interval is the poll period (0 means DefaultWatchInterval).
+	Interval time.Duration
+	// OnChange fires with the newly active version after the marker
+	// changed. It runs on the watcher's goroutine; slow callbacks delay
+	// subsequent polls rather than piling up.
+	OnChange func(version string)
+	// Logger, when set, records marker read failures at warn level (a
+	// transient stat error must not kill the loop).
+	Logger *slog.Logger
+
+	lastMod     time.Time
+	lastVersion string
+	primed      bool
+}
+
+// interval returns the effective poll period.
+func (w *Watcher) interval() time.Duration {
+	if w.Interval > 0 {
+		return w.Interval
+	}
+	return DefaultWatchInterval
+}
+
+// Prime records the store's current state as already-seen, so Run only
+// fires OnChange for promotions that happen after this point. Call it after
+// loading the boot artifact; without priming, the first poll reports the
+// current ACTIVE version as a change.
+func (w *Watcher) Prime() {
+	w.lastVersion, w.lastMod = w.observe()
+	w.primed = true
+}
+
+// observe stats and reads the ACTIVE marker, returning ("" , zero time)
+// when it does not exist or is unreadable.
+func (w *Watcher) observe() (string, time.Time) {
+	var mod time.Time
+	if fi, err := os.Stat(filepath.Join(w.Store.Dir(), activeMarker)); err == nil {
+		mod = fi.ModTime()
+	}
+	v, err := w.Store.ActiveVersion()
+	if err != nil {
+		if w.Logger != nil {
+			w.Logger.Warn("store watcher: reading active marker", "err", err)
+		}
+		return "", mod
+	}
+	return v, mod
+}
+
+// Poll performs one check and fires OnChange if the active version changed
+// since the last observation. It returns the version it fired for, or ""
+// when nothing changed. Exposed so tests (and callers that want an
+// immediate convergence check) can drive the watcher without its goroutine.
+func (w *Watcher) Poll() string {
+	v, mod := w.observe()
+	changed := v != w.lastVersion || !mod.Equal(w.lastMod)
+	first := !w.primed
+	w.lastVersion, w.lastMod = v, mod
+	w.primed = true
+	if first && v == "" {
+		return ""
+	}
+	if !changed && !first {
+		return ""
+	}
+	if v == "" {
+		// Marker removed or unreadable: nothing to converge to.
+		return ""
+	}
+	if w.OnChange != nil {
+		w.OnChange(v)
+	}
+	return v
+}
+
+// Run polls until ctx is cancelled. Call Prime first to suppress the
+// initial firing for the already-served version.
+func (w *Watcher) Run(ctx context.Context) {
+	t := time.NewTicker(w.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.Poll()
+		}
+	}
+}

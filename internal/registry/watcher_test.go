@@ -1,0 +1,124 @@
+package registry_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/mlmodel"
+	"repro/internal/registry"
+)
+
+// watcherArtifact builds a small valid artifact for store fixtures.
+func watcherArtifact(t *testing.T) *registry.Artifact {
+	t.Helper()
+	ds := synth(64, 3, 9, func(x []float64) float64 { return x[0] + 2*x[1] }, 0.01)
+	a, err := registry.New(trainLinear(t, ds), 3, nil, ds.Len(), mlmodel.Metrics{})
+	if err != nil {
+		t.Fatalf("registry.New: %v", err)
+	}
+	return a
+}
+
+// watcherStore builds a store with two saved versions, v1 active.
+func watcherStore(t *testing.T) *registry.Store {
+	t.Helper()
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := st.Save(watcherArtifact(t)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := st.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	return st
+}
+
+func TestWatcherDetectsPromotion(t *testing.T) {
+	st := watcherStore(t)
+	var fired []string
+	w := &registry.Watcher{Store: st, OnChange: func(v string) { fired = append(fired, v) }}
+	w.Prime()
+
+	if got := w.Poll(); got != "" {
+		t.Fatalf("primed watcher fired %q with no change", got)
+	}
+	if err := st.Activate("v2"); err != nil {
+		t.Fatalf("Activate v2: %v", err)
+	}
+	if got := w.Poll(); got != "v2" {
+		t.Fatalf("Poll after promote = %q, want v2", got)
+	}
+	if got := w.Poll(); got != "" {
+		t.Fatalf("second Poll re-fired %q", got)
+	}
+	if len(fired) != 1 || fired[0] != "v2" {
+		t.Fatalf("OnChange fired %v, want [v2]", fired)
+	}
+}
+
+func TestWatcherUnprimedFiresForCurrent(t *testing.T) {
+	st := watcherStore(t)
+	var fired []string
+	w := &registry.Watcher{Store: st, OnChange: func(v string) { fired = append(fired, v) }}
+	if got := w.Poll(); got != "v1" {
+		t.Fatalf("unprimed Poll = %q, want v1 (current active)", got)
+	}
+	if len(fired) != 1 || fired[0] != "v1" {
+		t.Fatalf("OnChange fired %v, want [v1]", fired)
+	}
+}
+
+func TestWatcherEmptyStoreStaysQuiet(t *testing.T) {
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	w := &registry.Watcher{Store: st, OnChange: func(v string) { t.Errorf("OnChange(%q) on empty store", v) }}
+	if got := w.Poll(); got != "" {
+		t.Fatalf("Poll on empty store = %q", got)
+	}
+	w.Prime()
+	if got := w.Poll(); got != "" {
+		t.Fatalf("primed Poll on empty store = %q", got)
+	}
+}
+
+// TestWatcherRunConverges runs the real goroutine loop against a live
+// promotion and asserts it fires within a few intervals.
+func TestWatcherRunConverges(t *testing.T) {
+	st := watcherStore(t)
+	fired := make(chan string, 4)
+	w := &registry.Watcher{
+		Store:    st,
+		Interval: 10 * time.Millisecond,
+		OnChange: func(v string) { fired <- v },
+	}
+	w.Prime()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { w.Run(ctx); close(done) }()
+
+	if err := st.Activate("v2"); err != nil {
+		t.Fatalf("Activate v2: %v", err)
+	}
+	select {
+	case v := <-fired:
+		if v != "v2" {
+			t.Fatalf("converged on %q, want v2", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher did not converge within 2s of a 10ms interval")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop on ctx cancel")
+	}
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// waitDepth polls until the admission queue holds exactly n waiters.
+func waitDepth(t *testing.T, a *Admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.QueueDepth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, a.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionAcquireMechanics drives every outcome of the admission queue
+// and checks the counters partition offered exactly:
+// offered = admitted + shed + rejected + canceled.
+func TestAdmissionAcquireMechanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	// shedAt = ceil(1.0 * 2) = 2: the first waiter is served in full, the
+	// second is shed.
+	a := &Admission{MaxConcurrent: 1, MaxQueue: 2, ShedFraction: 1.0, Metrics: reg}
+	bg := context.Background()
+
+	// Fast path: free slot, no pressure.
+	o0, rel0 := a.Acquire(bg)
+	if o0 != admitOK || rel0 == nil {
+		t.Fatalf("first Acquire = %v, want admitOK with release", o0)
+	}
+
+	// Waiter 1 queues at depth 1 (below shedAt).
+	w1 := make(chan admitOutcome, 1)
+	go func() {
+		o, rel := a.Acquire(bg)
+		if rel != nil {
+			defer rel()
+		}
+		w1 <- o
+	}()
+	waitDepth(t, a, 1)
+
+	// Waiter 2 queues at depth 2 (at shedAt) under a cancelable context.
+	ctx2, cancel2 := context.WithCancel(bg)
+	defer cancel2()
+	w2 := make(chan admitOutcome, 1)
+	go func() {
+		o, rel := a.Acquire(ctx2)
+		if rel != nil {
+			defer rel()
+		}
+		w2 <- o
+	}()
+	waitDepth(t, a, 2)
+
+	// The queue is full: the next offer is refused immediately.
+	if o, rel := a.Acquire(bg); o != admitRejected || rel != nil {
+		t.Fatalf("over-queue Acquire = %v (rel nil=%t), want admitRejected with nil release", o, rel == nil)
+	}
+
+	// Waiter 2's deadline lapses in the queue.
+	cancel2()
+	if o := <-w2; o != admitCanceled {
+		t.Fatalf("canceled waiter = %v, want admitCanceled", o)
+	}
+	waitDepth(t, a, 1)
+
+	// Releasing the slot serves waiter 1 in full (it queued below shedAt).
+	rel0()
+	if o := <-w1; o != admitOK {
+		t.Fatalf("first waiter = %v, want admitOK", o)
+	}
+	waitDepth(t, a, 0)
+
+	// Shed: refill the slot, then queue past shedAt with ShedFraction 0.5
+	// semantics — reuse the same controller; depth 2 is at shedAt.
+	o4, rel4 := a.Acquire(bg)
+	if o4 != admitOK {
+		t.Fatalf("refill Acquire = %v", o4)
+	}
+	w5 := make(chan admitOutcome, 1)
+	go func() {
+		o, rel := a.Acquire(bg)
+		if rel != nil {
+			defer rel()
+		}
+		w5 <- o
+	}()
+	waitDepth(t, a, 1)
+	w6 := make(chan admitOutcome, 1)
+	go func() {
+		o, rel := a.Acquire(bg)
+		if rel != nil {
+			defer rel()
+		}
+		w6 <- o
+	}()
+	waitDepth(t, a, 2)
+	rel4()
+	got5, got6 := <-w5, <-w6
+	// Slot handoff order between the two waiters is scheduler-dependent,
+	// but the shed decision was fixed at enqueue time: w5 joined at depth 1
+	// (full service), w6 at depth 2 (shed).
+	if got5 != admitOK {
+		t.Fatalf("waiter at depth 1 = %v, want admitOK", got5)
+	}
+	if got6 != admitShed {
+		t.Fatalf("waiter at depth 2 = %v, want admitShed", got6)
+	}
+
+	snap := reg.Snapshot()
+	c := snap.Counters
+	offered := c["admission_offered_total"]
+	sum := c["admission_admitted_total"] + c["admission_shed_total"] +
+		c["admission_rejected_total"] + c["admission_canceled_total"]
+	if offered != 7 || sum != offered {
+		t.Fatalf("counters do not reconcile: offered=%d, admitted+shed+rejected+canceled=%d (%v)", offered, sum, c)
+	}
+	if c["admission_shed_total"] != 1 || c["admission_rejected_total"] != 1 || c["admission_canceled_total"] != 1 {
+		t.Fatalf("outcome counters = %v", c)
+	}
+}
+
+func TestAdmissionDefaults(t *testing.T) {
+	a := &Admission{}
+	if got := a.maxConcurrent(); got <= 0 {
+		t.Fatalf("default maxConcurrent = %d", got)
+	}
+	if got := a.maxQueue(); got != 4*a.maxConcurrent() {
+		t.Fatalf("default maxQueue = %d, want %d", got, 4*a.maxConcurrent())
+	}
+	if got := (&Admission{MaxQueue: -1}).maxQueue(); got != 0 {
+		t.Fatalf("negative MaxQueue resolves to %d, want 0", got)
+	}
+	if got := a.retryAfterSeconds(); got != "1" {
+		t.Fatalf("default Retry-After = %q, want 1", got)
+	}
+	if got := (&Admission{RetryAfter: 2500 * time.Millisecond}).retryAfterSeconds(); got != "3" {
+		t.Fatalf("Retry-After rounds to %q, want 3", got)
+	}
+	// No queue at all: the second offer is refused outright.
+	nq := &Admission{MaxConcurrent: 1, MaxQueue: -1}
+	_, rel := nq.Acquire(context.Background())
+	defer rel()
+	if o, _ := nq.Acquire(context.Background()); o != admitRejected {
+		t.Fatalf("queue-less saturated Acquire = %v, want admitRejected", o)
+	}
+}

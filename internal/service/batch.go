@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/plancache"
+)
+
+// DefaultMaxBatchMembers caps POST /optimize/batch when
+// Server.MaxBatchMembers is unset.
+const DefaultMaxBatchMembers = 64
+
+// BatchRequest is the body of POST /optimize/batch: a slice of JSON logical
+// plans, each in the same format POST /optimize accepts.
+type BatchRequest struct {
+	Plans []json.RawMessage `json:"plans"`
+}
+
+// BatchMemberResult is one member's outcome inside a BatchResponse: either
+// Plan (the same shape as a POST /optimize reply) or Error. Cache reports
+// how the member was served: "hit" (plan cache), "collapsed" (another
+// in-flight request's enumeration), "dedup" (another member of this batch
+// with the same fingerprint), "miss" (own enumeration, cache populated) or
+// "" (cache not in play).
+type BatchMemberResult struct {
+	Plan  *OptimizeResponse `json:"plan,omitempty"`
+	Error string            `json:"error,omitempty"`
+	Cache string            `json:"cache,omitempty"`
+}
+
+// BatchResponse is the reply of POST /optimize/batch. Members appear in
+// Results in request order. The batch itself is one admission unit: it is
+// admitted, queued, shed or refused as a whole.
+type BatchResponse struct {
+	RequestID string `json:"requestId"`
+	// Members is the submitted plan count; Distinct the number of unique
+	// canonical fingerprints among them (unfingerprintable members count as
+	// distinct).
+	Members  int `json:"members"`
+	Distinct int `json:"distinct"`
+	// CacheHits counts members served from the plan cache, Deduped members
+	// served from another member's enumeration in this batch, Errors
+	// members that failed individually.
+	CacheHits int `json:"cacheHits"`
+	Deduped   int `json:"deduped"`
+	Errors    int `json:"errors"`
+	// Shed reports that the whole batch was admitted in load-shedding mode:
+	// every enumerated member carries the degraded beam's plan.
+	Shed    bool                `json:"shed,omitempty"`
+	TotalMs float64             `json:"totalMs"`
+	Results []BatchMemberResult `json:"results"`
+}
+
+func (s *Server) maxBatchMembers() int {
+	if s.MaxBatchMembers > 0 {
+		return s.MaxBatchMembers
+	}
+	return DefaultMaxBatchMembers
+}
+
+// handleOptimizeBatch admits a slice of plans as one unit, deduplicates
+// members by canonical fingerprint before any enumeration runs, sweeps the
+// plan cache with one batched lookup, and fans the remaining distinct
+// members across the enumeration worker pool.
+func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	batchID := s.nextReqID()
+	w.Header().Set("X-Request-Id", batchID)
+	if r.Method != http.MethodPost {
+		s.fail(w, batchID, http.StatusMethodNotAllowed, errors.New(`POST {"plans": [...]} — a slice of JSON logical plans`))
+		return
+	}
+	start := time.Now()
+	deadline, err := s.deadline(r)
+	if err != nil {
+		s.fail(w, batchID, http.StatusBadRequest, err)
+		return
+	}
+	lambda, err := riskLambda(r)
+	if err != nil {
+		s.fail(w, batchID, http.StatusBadRequest, err)
+		return
+	}
+	var breq BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody())).Decode(&breq); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, batchID, code, err)
+		return
+	}
+	if len(breq.Plans) == 0 {
+		s.fail(w, batchID, http.StatusBadRequest, errors.New("service: batch carries no plans"))
+		return
+	}
+	if limit := s.maxBatchMembers(); len(breq.Plans) > limit {
+		s.fail(w, batchID, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("service: batch of %d plans exceeds the member limit of %d", len(breq.Plans), limit))
+		return
+	}
+
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	// One admission unit: the batch holds one slot (its members share the
+	// enumeration worker pool internally), so a 64-member batch cannot
+	// monopolize 64 admission slots.
+	shed, release, ok := s.admit(ctx, w, batchID, start)
+	if !ok {
+		return
+	}
+	if release != nil {
+		defer release()
+	}
+
+	m := s.Metrics()
+	m.Counter("batch_requests_total").Inc()
+	m.Counter("batch_members_total").Add(int64(len(breq.Plans)))
+	m.Histogram("batch_size").Observe(float64(len(breq.Plans)))
+
+	simulate := r.URL.Query().Get("simulate") == "1"
+	nocache := r.URL.Query().Get("nocache") == "1"
+	useCache := s.PlanCache != nil && !nocache
+
+	// Parse and fingerprint every member up front; duplicates point at the
+	// first member with their fingerprint (the leader) and never enumerate.
+	type member struct {
+		q      *optimizeReq
+		out    *optimizeOut
+		leader int
+	}
+	members := make([]member, len(breq.Plans))
+	firstByFP := make(map[plancache.Fingerprint]int, len(breq.Plans))
+	distinct := 0
+	for i, raw := range breq.Plans {
+		members[i].leader = -1
+		id := fmt.Sprintf("%s.%d", batchID, i)
+		l, perr := plan.UnmarshalJSONPlan(bytes.NewReader(raw))
+		if perr != nil {
+			members[i].out = &optimizeOut{status: http.StatusBadRequest, err: fmt.Errorf("member %d: %w", i, perr)}
+			continue
+		}
+		q := &optimizeReq{
+			id:       id,
+			l:        l,
+			start:    start,
+			deadline: deadline,
+			lambda:   lambda,
+			simulate: simulate,
+			nocache:  nocache,
+			shed:     shed,
+			fpDone:   true,
+		}
+		if useCache {
+			if fp, canon, fpErr := plancache.Compute(l, s.Platforms, s.Avail, s.PlanCache.BandsPerDecade()); fpErr == nil {
+				q.fp, q.canon = fp, canon
+			}
+		}
+		members[i].q = q
+		if q.canon != nil {
+			if j, seen := firstByFP[q.fp]; seen {
+				members[i].leader = j
+				continue
+			}
+			firstByFP[q.fp] = i
+		}
+		distinct++
+	}
+
+	// Cache sweep: one batched lookup resolves every fingerprinted member
+	// (duplicates included — they share the entry) before any enumeration.
+	p := s.provider()
+	if useCache && p != nil {
+		version := p.Get().Version()
+		band := plancache.RiskBand(lambda)
+		idxs := make([]int, 0, len(members))
+		fps := make([]plancache.Fingerprint, 0, len(members))
+		for i := range members {
+			if members[i].q != nil && members[i].q.canon != nil {
+				idxs = append(idxs, i)
+				fps = append(fps, members[i].q.fp)
+			}
+		}
+		for k, cp := range s.PlanCache.GetBandBatch(fps, version, band) {
+			if cp == nil {
+				continue
+			}
+			i := idxs[k]
+			q := members[i].q
+			tr := s.Tracer.Start(q.id)
+			if out, hk := s.cachedOut(q, cp, q.canon, version, tr, "hit"); hk {
+				members[i].out = out
+			}
+		}
+	}
+
+	// Fan the remaining distinct members across the enumeration pool:
+	// `fanout` members optimize concurrently, each with an equal share of
+	// the worker budget, so a batch uses the same parallelism one request
+	// would.
+	var runnable []int
+	for i := range members {
+		if members[i].out == nil && members[i].q != nil && members[i].leader == -1 {
+			runnable = append(runnable, i)
+		}
+	}
+	if n := len(runnable); n > 0 {
+		workers := s.workers()
+		fanout := min(n, workers)
+		inner := max(1, workers/fanout)
+		sem := make(chan struct{}, fanout)
+		var wg sync.WaitGroup
+		for _, i := range runnable {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				q := members[i].q
+				q.workers = inner
+				members[i].out = s.runOptimize(ctx, q)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Duplicate members materialize their leader's plan through their own
+	// canonical permutation; if the leader failed (or its result was not
+	// cacheable), the duplicate runs its own enumeration as a fallback.
+	deduped := 0
+	for i := range members {
+		mb := &members[i]
+		if mb.out != nil || mb.q == nil {
+			continue
+		}
+		if lo := members[mb.leader].out; lo != nil && lo.err == nil && lo.cp != nil {
+			tr := s.Tracer.Start(mb.q.id)
+			if out, dk := s.cachedOut(mb.q, lo.cp, mb.q.canon, lo.resp.ModelVersion, tr, "dedup"); dk {
+				mb.out = out
+				deduped++
+				m.Counter("batch_dedup_total").Inc()
+				continue
+			}
+		}
+		mb.out = s.runOptimize(ctx, mb.q)
+	}
+
+	resp := BatchResponse{
+		RequestID: batchID,
+		Members:   len(members),
+		Distinct:  distinct,
+		Deduped:   deduped,
+		Shed:      shed,
+		Results:   make([]BatchMemberResult, len(members)),
+	}
+	for i := range members {
+		out := members[i].out
+		if out == nil {
+			// Unreachable by construction; keep the response well-formed.
+			out = &optimizeOut{status: http.StatusInternalServerError, err: errors.New("member not served")}
+		}
+		if out.err != nil {
+			resp.Errors++
+			s.countFailure(out.err)
+			m.Counter("batch_member_errors_total").Inc()
+			resp.Results[i] = BatchMemberResult{Error: out.err.Error()}
+			continue
+		}
+		if out.cache == "hit" || out.cache == "collapsed" {
+			resp.CacheHits++
+		}
+		r := out.resp
+		resp.Results[i] = BatchMemberResult{Plan: &r, Cache: out.cache}
+	}
+	resp.TotalMs = float64(time.Since(start).Microseconds()) / 1000
+	s.writeJSON(w, resp)
+}

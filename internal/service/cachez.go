@@ -2,7 +2,6 @@ package service
 
 import (
 	"errors"
-	"fmt"
 	"net/http"
 )
 
@@ -29,7 +28,7 @@ type PurgeResponse struct {
 }
 
 func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodGet {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /cachez"))
@@ -43,7 +42,7 @@ func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCachezPurge(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /cachez/purge"))

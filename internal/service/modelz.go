@@ -77,7 +77,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodGet {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /modelz"))
@@ -141,28 +141,16 @@ func (s *Server) swapIn(art *registry.Artifact) (SwapResponse, error) {
 }
 
 func (s *Server) handleModelzReload(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/reload"))
 		return
 	}
-	if s.ModelStore == nil {
-		s.fail(w, reqID, http.StatusConflict, errors.New("service: no model store configured (-model-dir)"))
-		return
-	}
-	s.adminMu.Lock()
-	defer s.adminMu.Unlock()
-	art, err := s.ModelStore.LoadActive()
-	if err != nil {
-		s.fail(w, reqID, http.StatusInternalServerError, err)
-		return
-	}
-	if art == nil {
-		s.fail(w, reqID, http.StatusConflict, errors.New("service: model store holds no artifacts"))
-		return
-	}
-	resp, err := s.swapIn(art)
+	// Reload shares SyncStore with the store watcher, so an admin reload, a
+	// watcher-driven convergence swap and a retrainer promotion all
+	// serialize under the same admin lock.
+	resp, err := s.SyncStore()
 	if err != nil {
 		s.fail(w, reqID, http.StatusConflict, err)
 		return
@@ -171,7 +159,7 @@ func (s *Server) handleModelzReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelzPromote(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/promote?version=vN"))
@@ -210,7 +198,7 @@ func (s *Server) handleModelzPromote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelzRetrain(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST /modelz/retrain"))
@@ -231,7 +219,7 @@ func (s *Server) handleModelzRetrain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelzFeedback(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodGet {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /modelz/feedback"))

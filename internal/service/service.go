@@ -3,6 +3,22 @@
 // and the enumeration statistics. It is the embedding surface a
 // cross-platform system would call in place of its cost-based optimizer.
 //
+// # Request path layering
+//
+// The serving path is built from four explicit layers, each in its own file:
+//
+//	admission   (admission.go) — bounded queue, 429 + Retry-After when
+//	            full, deadline-aware dequeue, pressure-triggered load
+//	            shedding to the degraded beam
+//	cache       (optimize.go)  — canonical-fingerprint plan cache lookup
+//	singleflight (optimize.go) — concurrent identical requests collapse
+//	            into one enumeration
+//	optimize    (optimize.go)  — the full vector-algebra enumeration
+//
+// lifecycle.go holds the probe endpoints (/healthz, /readyz, /statz,
+// /metricz) and the store watcher that converges a replica fleet onto the
+// same promoted model version; batch.go the slice-at-a-time endpoint.
+//
 // # Endpoints
 //
 //   - POST /optimize — optimize a JSON logical plan. Query parameters:
@@ -15,8 +31,17 @@
 //     chosen plan on the simulated cluster) and trace=1 (force-retain the
 //     request's trace and inline its span tree and pruning audit trail in
 //     the response).
-//   - GET /healthz — liveness probe.
-//   - GET /statz — cumulative request counters as JSON.
+//   - POST /optimize/batch — optimize a slice of plans as one admission
+//     unit: members are deduplicated by canonical fingerprint before any
+//     enumeration runs and distinct members fan out across the enumeration
+//     worker pool (see batch.go). Accepts the same query parameters except
+//     trace.
+//   - GET /healthz — liveness probe (process is up).
+//   - GET /readyz — readiness probe: 200 only while the replica holds a
+//     servable model artifact and is not draining; a load balancer fronting
+//     N replicas gates traffic on this.
+//   - GET /statz — cumulative request counters as JSON (plus the resolved
+//     worker count and admission/readiness state).
 //   - GET /metricz — full metrics snapshot (see below);
 //     ?format=prometheus serves the Prometheus text exposition instead.
 //   - GET /tracez — recent retained traces, newest first; ?id= for one
@@ -34,14 +59,19 @@
 //
 // # /metricz fields
 //
-// The snapshot has two top-level objects, "counters" and "histograms".
+// The snapshot has two top-level objects, "counters" and "histograms"
+// (plus "gauges" when any are set).
 //
 // Counters:
 //
-//   - requests_total — optimize requests received (any outcome)
+//   - requests_total — optimize requests received (any outcome; batch
+//     members count individually)
 //   - failures_total — optimize requests that returned an error status
 //   - deadline_exceeded_total — requests cancelled by their deadline (503)
 //   - degraded_total — successful requests whose plan was budget-degraded
+//   - shed_total — successful requests served the degraded beam because
+//     admission pressure shed them (DegradeReason "load-shed"; a subset of
+//     degraded_total)
 //   - encode_failures_total — response JSON encoding failures (client gone)
 //   - model_batches_total — batched cost-oracle invocations across requests
 //   - model_rows_total — feature rows sent to the cost oracle across
@@ -49,18 +79,30 @@
 //   - memo_hits_total — predictions served from the per-run memo
 //   - interval_kept_total — near-tie plan vectors kept alive by overlap
 //     pruning across risk-aware (risk_lambda > 0) requests
-//   - pool_rounds_total — parallel-enumeration scheduling rounds across
-//     requests
-//   - pool_tasks_total — boundary tasks executed by the enumeration worker
-//     pool across requests
-//   - pool_steals_total — work-stealing events (tasks run by a worker other
-//     than the one they were dealt to) across requests
+//   - pool_rounds_total / pool_tasks_total / pool_steals_total — the
+//     parallel-enumeration scheduler across requests
 //   - model_requests_<version> — optimize requests scored by each model
 //     version (the hot-swap audit trail)
 //   - model_swaps_total — models hot-swapped in via reload/promote/retrain
+//     or the store watcher
+//   - store_watch_swaps_total — hot-swaps triggered by the store watcher
+//     observing another replica's promotion
+//   - store_watch_errors_total — store-watcher reload attempts that failed
+//   - batch_requests_total — POST /optimize/batch calls
+//   - batch_members_total — plans submitted across all batch calls
+//   - batch_dedup_total — batch members served from another member's
+//     enumeration in the same batch (fingerprint duplicates)
+//   - batch_member_errors_total — batch members that failed individually
 //   - feedback_samples_total — execution-feedback samples captured from
 //     simulate=1 requests
 //   - feedback_rejected_total — feedback samples dropped (width mismatch)
+//
+// Servers with a configured Admission controller additionally expose
+// admission_offered_total, admission_admitted_total, admission_shed_total,
+// admission_rejected_total and admission_canceled_total (offered =
+// admitted + shed + rejected + canceled), the admission_wait_ms histogram
+// (time spent queued before a slot freed) and the admission_queue_depth
+// gauge.
 //
 // Servers with a configured PlanCache additionally expose
 // plan_cache_hits_total, plan_cache_misses_total, plan_cache_evictions_total
@@ -85,6 +127,7 @@
 //   - model_rows — feature rows sent to the cost oracle per request
 //   - model_batch_rows — average rows per model batch per request (the
 //     inference batch size)
+//   - batch_size — members per POST /optimize/batch call
 //   - pool_queue_depth — deepest per-worker task queue per request (the
 //     enumeration pool's load skew before stealing)
 //   - stage_vectorize_ms, stage_enumerate_ms, stage_merge_ms,
@@ -95,23 +138,17 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
-	"math"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/mlmodel"
 	"repro/internal/obs"
-	"repro/internal/plan"
 	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/registry"
@@ -133,7 +170,8 @@ type Server struct {
 	// immutable snapshot from it and reports that snapshot's version.
 	Provider *registry.Provider
 	// ModelStore, when set, backs POST /modelz/reload and
-	// POST /modelz/promote with persisted artifact versions.
+	// POST /modelz/promote with persisted artifact versions, and is what
+	// StartStoreWatcher polls for other replicas' promotions.
 	ModelStore *registry.Store
 	// Feedback, when set, receives one (plan vector, observed runtime)
 	// sample per /optimize?simulate=1 request whose simulated run succeeded
@@ -147,7 +185,9 @@ type Server struct {
 	// Cluster, when set, lets /optimize?simulate=1 report the simulated
 	// runtime of the chosen plan.
 	Cluster *simulator.Cluster
-	// Workers is passed to the enumeration context.
+	// Workers sizes the enumeration worker pool. Zero or negative resolves
+	// to runtime.GOMAXPROCS(0) (core.ResolveWorkers); the resolved value is
+	// reported by /statz.
 	Workers int
 	// DefaultDeadline bounds each request's optimization when the client
 	// does not pass ?deadline_ms=. Zero means no server-side deadline
@@ -161,6 +201,15 @@ type Server struct {
 	// MaxBodyBytes caps the request body size; oversized plans are
 	// rejected with 413 before parsing. Zero means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxBatchMembers caps the plans accepted by one POST /optimize/batch
+	// call. Zero means DefaultMaxBatchMembers.
+	MaxBatchMembers int
+	// Admission, when set, bounds the optimize endpoints: at most
+	// MaxConcurrent requests optimize at once, at most MaxQueue wait, the
+	// rest are refused with 429 + Retry-After, and queued requests admitted
+	// under pressure are shed to the degraded beam instead of served in
+	// full. Nil admits everything immediately (embedded and test servers).
+	Admission *Admission
 	// Tracer, when set, records a span tree per /optimize request and
 	// retains notable ones for GET /tracez. The request ID doubles as the
 	// trace ID, so traces join against logs and response bodies. Nil
@@ -189,9 +238,13 @@ type Server struct {
 	metrics *obs.Registry
 	pOnce   sync.Once
 	staticP *registry.Provider
-	// adminMu serializes /modelz mutations (reload, promote, retrain); the
-	// /optimize path never takes it.
+	// adminMu serializes /modelz mutations (reload, promote, retrain),
+	// /cachez/purge and store-watcher swaps; the /optimize path never takes
+	// it.
 	adminMu sync.Mutex
+	// unready is set while draining (SetReady(false)); the zero value keeps
+	// embedded servers ready by default.
+	unready atomic.Bool
 
 	mu    sync.Mutex
 	stats struct {
@@ -199,6 +252,8 @@ type Server struct {
 		Failures         int64
 		DeadlineExceeded int64
 		Degraded         int64
+		Shed             int64
+		Rejected         int64
 		TotalMs          float64
 		LastError        string
 	}
@@ -215,8 +270,17 @@ func (s *Server) Metrics() *obs.Registry {
 // loop (registry.Retrainer.Gate) can serialize its promotions with admin
 // reloads and promotes — otherwise a background hot-swap could interleave
 // with an admin promote and leave the provider serving a different version
-// than the store's ACTIVE marker records.
+// than the store's ACTIVE marker records. The store watcher's swaps and
+// /cachez/purge serialize behind the same lock.
 func (s *Server) AdminLocker() sync.Locker { return &s.adminMu }
+
+// workers returns the resolved enumeration parallelism.
+func (s *Server) workers() int { return core.ResolveWorkers(s.Workers) }
+
+// nextReqID mints the next request identifier.
+func (s *Server) nextReqID() string {
+	return fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+}
 
 // provider returns the model provider requests resolve snapshots from:
 // Provider when configured, otherwise Model wrapped in a static provider
@@ -233,10 +297,11 @@ func (s *Server) provider() *registry.Provider {
 	return s.staticP
 }
 
-// OptimizeResponse is the JSON reply of POST /optimize.
+// OptimizeResponse is the JSON reply of POST /optimize (and of each member
+// of POST /optimize/batch).
 type OptimizeResponse struct {
 	// RequestID identifies the request in logs and metrics (also sent as
-	// the X-Request-Id header).
+	// the X-Request-Id header). Batch members carry "<batchId>.<index>".
 	RequestID string `json:"requestId"`
 	// ModelVersion names the model artifact that scored this plan — under
 	// concurrent hot-swaps, exactly the snapshot this request resolved.
@@ -264,7 +329,8 @@ type OptimizeResponse struct {
 	SimulatedLabel      string  `json:"simulatedLabel,omitempty"`
 	// Degraded reports that the enumeration budget (or the soft deadline)
 	// was exhausted and the plan is best-effort; DegradeReason names the
-	// exhausted dimension.
+	// exhausted dimension ("load-shed" when admission pressure shed the
+	// request onto the beam up front).
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradeReason string `json:"degradeReason,omitempty"`
 	// Stats summarizes the enumeration work.
@@ -320,14 +386,17 @@ type ErrorResponse struct {
 	RequestID string `json:"requestId"`
 }
 
-// Handler returns the HTTP handler: POST /optimize, GET /healthz,
-// GET /statz, GET /metricz.
+// Handler returns the HTTP handler serving the endpoint families documented
+// in the package comment.
 func (s *Server) Handler() http.Handler {
+	if s.Admission != nil && s.Admission.Metrics == nil {
+		s.Admission.Metrics = s.Metrics()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/optimize/batch", s.handleOptimizeBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/modelz", s.handleModelz)
@@ -349,434 +418,10 @@ func (s *Server) maxBody() int64 {
 	return DefaultMaxBodyBytes
 }
 
-// deadline resolves the effective deadline of a request: ?deadline_ms= wins
-// over the server default. A malformed or non-positive value is an error.
-func (s *Server) deadline(r *http.Request) (time.Duration, error) {
-	q := r.URL.Query().Get("deadline_ms")
-	if q == "" {
-		return s.DefaultDeadline, nil
-	}
-	ms, err := strconv.Atoi(q)
-	if err != nil || ms <= 0 {
-		return 0, fmt.Errorf("service: deadline_ms must be a positive integer, got %q", q)
-	}
-	return time.Duration(ms) * time.Millisecond, nil
-}
-
-// riskLambda resolves the request's risk-aversion weight from ?risk_lambda=.
-// A malformed, negative or non-finite value is an error.
-func riskLambda(r *http.Request) (float64, error) {
-	q := r.URL.Query().Get("risk_lambda")
-	if q == "" {
-		return 0, nil
-	}
-	v, err := strconv.ParseFloat(q, 64)
-	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-		return 0, fmt.Errorf("service: risk_lambda must be a finite non-negative number, got %q", q)
-	}
-	return v, nil
-}
-
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
-	w.Header().Set("X-Request-Id", reqID)
-	if r.Method != http.MethodPost {
-		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("POST a JSON logical plan"))
-		return
-	}
-	start := time.Now()
-	deadline, err := s.deadline(r)
-	if err != nil {
-		s.fail(w, reqID, http.StatusBadRequest, err)
-		return
-	}
-	lambda, err := riskLambda(r)
-	if err != nil {
-		s.fail(w, reqID, http.StatusBadRequest, err)
-		return
-	}
-	l, err := plan.UnmarshalJSONPlan(http.MaxBytesReader(w, r.Body, s.maxBody()))
-	if err != nil {
-		code := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			code = http.StatusRequestEntityTooLarge
-		}
-		s.fail(w, reqID, code, err)
-		return
-	}
-	cctx, err := core.NewContext(l, s.Platforms, s.Avail)
-	if err != nil {
-		s.fail(w, reqID, http.StatusBadRequest, err)
-		return
-	}
-	cctx.Workers = s.Workers
-	budget := s.Budget
-	if budget.SoftDeadline == 0 && deadline > 0 {
-		// Degrade at 80% of the deadline so the request has slack to
-		// finish its best-effort plan before the hard cutoff.
-		budget.SoftDeadline = deadline * 4 / 5
-	}
-	cctx.Budget = budget
-	if lambda != 0 {
-		// Risk-aware request: λ-adjusted scoring plus overlap pruning, so
-		// near-ties the model cannot separate survive to the final selection.
-		cctx.Risk = core.Risk{Lambda: lambda, KeepOverlap: true}
-	}
-
-	// Fingerprint the plan up front when a cache is configured: the
-	// canonical hash is a few microseconds against the enumeration's
-	// milliseconds. ?nocache=1 is the per-request escape hatch, and a plan
-	// the fingerprinter rejects simply bypasses the cache.
-	useCache := s.PlanCache != nil && r.URL.Query().Get("nocache") != "1"
-	var (
-		fp    plancache.Fingerprint
-		canon *plancache.Canon
-	)
-	if useCache {
-		var fpErr error
-		fp, canon, fpErr = plancache.Compute(l, s.Platforms, s.Avail, s.PlanCache.BandsPerDecade())
-		if fpErr != nil {
-			useCache = false
-		}
-	}
-
-	// The request ID doubles as the trace ID. A configured tracer records
-	// every request and decides retention at the end (tail-based sampling);
-	// ?trace=1 additionally forces retention and inlines the trace in the
-	// response. Without a tracer, ?trace=1 still gets a one-shot trace that
-	// lives only in this response.
-	wantTrace := r.URL.Query().Get("trace") == "1"
-	tr := s.Tracer.Start(reqID)
-	if tr == nil && wantTrace {
-		tr = obs.NewTrace(reqID)
-	}
-	cctx.Trace = tr
-
-	ctx := r.Context()
-	if deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, deadline)
-		defer cancel()
-	}
-	// Resolve one immutable snapshot for the whole request: concurrent
-	// hot-swaps affect later requests, never this one, and the response's
-	// modelVersion is exactly the model that scored the plan.
-	p := s.provider()
-	if p == nil {
-		err := errors.New("service: no model configured")
-		tr.SetError(err.Error())
-		s.Tracer.Finish(tr, wantTrace, "")
-		s.fail(w, reqID, http.StatusServiceUnavailable, err)
-		s.logOptimize(reqID, http.StatusServiceUnavailable, start, "", false, err)
-		return
-	}
-	snap := p.Get()
-	riskBand := plancache.RiskBand(lambda)
-	if useCache {
-		if cp, ok := s.PlanCache.GetBand(fp, snap.Version(), riskBand); ok {
-			if s.serveCached(w, r, reqID, start, l, cp, canon, snap.Version(), tr, wantTrace, "hit") {
-				return
-			}
-			// A cached assignment that fails to materialize against this
-			// plan (a banding artifact) falls through to the full run.
-		}
-	}
-
-	var res *core.Result
-	if useCache {
-		// Singleflight: concurrent identical (fingerprint, version)
-		// requests run one enumeration. The leader optimizes under its own
-		// ctx and publishes the result; followers wait under theirs and
-		// serve the shared plan as "collapsed".
-		var cp *plancache.CachedPlan
-		var followed bool
-		cp, followed, err = s.PlanCache.DoBand(ctx, fp, snap.Version(), riskBand, func() (*plancache.CachedPlan, error) {
-			lr, lerr := cctx.OptimizeProvider(ctx, snap)
-			if lerr != nil {
-				return nil, lerr
-			}
-			res = lr
-			ncp, cerr := plancache.FromResult(fp, canon, snap.Version(), lr)
-			if cerr != nil {
-				// Still a successful optimization: serve it, cache nothing.
-				return nil, nil
-			}
-			// Degraded plans are budget artifacts of one moment, not the
-			// enumeration optimum — never cache them.
-			if !lr.Degraded {
-				s.PlanCache.Put(ncp)
-			}
-			return ncp, nil
-		})
-		if followed && err == nil {
-			if cp != nil && s.serveCached(w, r, reqID, start, l, cp, canon, snap.Version(), tr, wantTrace, "collapsed") {
-				return
-			}
-			// The leader's result does not fit this request's plan; run
-			// the enumeration ourselves.
-			res, err = cctx.OptimizeProvider(ctx, snap)
-		}
-	} else {
-		res, err = cctx.OptimizeProvider(ctx, snap)
-	}
-	if err != nil {
-		tr.SetError(err.Error())
-		s.Tracer.Finish(tr, wantTrace, "")
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.mu.Lock()
-			s.stats.DeadlineExceeded++
-			s.mu.Unlock()
-			s.Metrics().Counter("deadline_exceeded_total").Inc()
-			err = fmt.Errorf("service: optimization exceeded its deadline of %v: %w", deadline, err)
-			s.fail(w, reqID, http.StatusServiceUnavailable, err)
-			s.logOptimize(reqID, http.StatusServiceUnavailable, start, snap.Version(), false, err)
-			return
-		}
-		s.fail(w, reqID, http.StatusUnprocessableEntity, err)
-		s.logOptimize(reqID, http.StatusUnprocessableEntity, start, snap.Version(), false, err)
-		return
-	}
-	notable := ""
-	if res.Degraded {
-		notable = "degraded"
-	}
-	s.Tracer.Finish(tr, wantTrace, notable)
-	resp := OptimizeResponse{
-		RequestID:           reqID,
-		ModelVersion:        snap.Version(),
-		PredictedRuntimeSec: res.Predicted,
-		PredictedLoSec:      res.PredictedDist.Lo,
-		PredictedHiSec:      res.PredictedDist.Hi,
-		PredictedSpreadSec:  res.PredictedDist.Spread,
-		RiskLambda:          lambda,
-		Degraded:            res.Degraded,
-		DegradeReason:       res.Stats.DegradeReason,
-		Stats: StatsJSON{
-			VectorsCreated: res.Stats.VectorsCreated,
-			Merges:         res.Stats.Merges,
-			ModelBatches:   res.Stats.ModelBatches,
-			ModelRows:      res.Stats.ModelRows,
-			MemoHits:       res.Stats.MemoHits,
-			Pruned:         res.Stats.Pruned,
-			IntervalKept:   res.Stats.IntervalKept,
-			PeakEnumSize:   res.Stats.PeakEnumSize,
-			PoolRounds:     res.Stats.Par.Rounds,
-			PoolTasks:      res.Stats.Par.Tasks,
-			PoolSteals:     res.Stats.Par.Steals,
-			PoolQueueDepth: res.Stats.Par.MaxQueueDepth,
-		},
-		StageMs:        res.Stats.Timings.Milliseconds(),
-		OptimizationMs: float64(time.Since(start).Microseconds()) / 1000,
-	}
-	if wantTrace {
-		resp.Trace = res.Trace
-	}
-	for _, p := range res.Execution.Assign {
-		resp.Assignments = append(resp.Assignments, p.String())
-	}
-	for _, conv := range res.Execution.Conversions {
-		resp.Conversions = append(resp.Conversions, ConversionJSON{
-			Name:     conv.Name(),
-			AfterOp:  int(conv.AfterOp),
-			BeforeOp: int(conv.BeforeOp),
-			Tuples:   conv.Card,
-		})
-	}
-	if r.URL.Query().Get("simulate") == "1" && s.Cluster != nil {
-		run := s.Cluster.Run(res.Execution)
-		resp.SimulatedRuntimeSec = run.Runtime
-		resp.SimulatedLabel = run.Label()
-		// Execution feedback: the chosen plan's vector paired with its
-		// observed runtime feeds the retraining loop, tagged with the
-		// model's predictive spread so retraining can prioritize the plans
-		// the model was least certain about. Failed runs carry no usable
-		// runtime label and are skipped.
-		if s.Feedback != nil && res.Vector != nil && !run.Failed() {
-			if err := s.Feedback.AddWithSpread(res.Vector.F, run.Runtime, res.PredictedDist.Spread); err != nil {
-				s.Metrics().Counter("feedback_rejected_total").Inc()
-			} else {
-				s.Metrics().Counter("feedback_samples_total").Inc()
-			}
-		}
-	}
-
-	s.mu.Lock()
-	s.stats.Requests++
-	s.stats.TotalMs += resp.OptimizationMs
-	if res.Degraded {
-		s.stats.Degraded++
-	}
-	s.mu.Unlock()
-	s.record(resp, res)
-	if s.Logger != nil {
-		s.Logger.Info("optimize",
-			"requestId", reqID,
-			"status", http.StatusOK,
-			"ms", resp.OptimizationMs,
-			"modelVersion", resp.ModelVersion,
-			"degraded", res.Degraded,
-			"traced", tr != nil,
-			"predictedSec", res.Predicted)
-	}
-
-	if useCache {
-		w.Header().Set("X-Cache", "miss")
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// The plan was computed but the client will not see it (usually a
-		// dropped connection): that is a failed request, not just a note.
-		s.mu.Lock()
-		s.stats.Failures++
-		s.stats.LastError = err.Error()
-		s.mu.Unlock()
-		s.Metrics().Counter("encode_failures_total").Inc()
-		s.Metrics().Counter("failures_total").Inc()
-	}
-}
-
-// serveCached writes the response for a request served without its own
-// enumeration: from the plan cache (how = "hit") or from a collapsed
-// concurrent run (how = "collapsed"). The cached canonical assignment is
-// rematerialized against this request's plan, so conversions and their
-// cardinalities come from the plan itself, byte-identical to the uncached
-// path. Stats are zero — no enumeration work happened. Returns false, with
-// nothing written, when the cached plan does not fit the request's plan (a
-// cross-plan banding artifact); the caller then runs the full optimization.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, reqID string, start time.Time, l *plan.Logical, cp *plancache.CachedPlan, canon *plancache.Canon, version string, tr *obs.Trace, wantTrace bool, how string) bool {
-	x, err := cp.Materialize(l, canon, s.Platforms)
-	if err != nil {
-		return false
-	}
-	// A cache hit is a one-span trace: the lookup is the whole story — no
-	// vectorize/enumerate/prune spans, because none of that ran.
-	sp := tr.StartSpan(nil, "cache")
-	sp.SetStr("result", how)
-	sp.SetStr("fingerprint", cp.Fingerprint.Short())
-	sp.SetStr("modelVersion", cp.ModelVersion)
-	sp.SetFloat("age_ms", float64(time.Since(cp.CachedAt).Microseconds())/1000)
-	sp.End()
-	s.Tracer.Finish(tr, wantTrace, "")
-
-	resp := OptimizeResponse{
-		RequestID:           reqID,
-		ModelVersion:        version,
-		ServedModelVersion:  cp.ModelVersion,
-		CachedAt:            cp.CachedAt.UTC().Format(time.RFC3339Nano),
-		PredictedRuntimeSec: cp.Predicted,
-		PredictedLoSec:      cp.PredictedDist.Lo,
-		PredictedHiSec:      cp.PredictedDist.Hi,
-		PredictedSpreadSec:  cp.PredictedDist.Spread,
-		RiskLambda:          cp.RiskLambda,
-		StageMs:             map[string]float64{},
-		OptimizationMs:      float64(time.Since(start).Microseconds()) / 1000,
-	}
-	for _, p := range x.Assign {
-		resp.Assignments = append(resp.Assignments, p.String())
-	}
-	for _, conv := range x.Conversions {
-		resp.Conversions = append(resp.Conversions, ConversionJSON{
-			Name:     conv.Name(),
-			AfterOp:  int(conv.AfterOp),
-			BeforeOp: int(conv.BeforeOp),
-			Tuples:   conv.Card,
-		})
-	}
-	if r.URL.Query().Get("simulate") == "1" && s.Cluster != nil {
-		run := s.Cluster.Run(x)
-		resp.SimulatedRuntimeSec = run.Runtime
-		resp.SimulatedLabel = run.Label()
-		// Cache hits still contribute execution feedback: the cached plan
-		// vector pairs with this run's observed runtime.
-		if s.Feedback != nil && len(cp.VectorF) > 0 && !run.Failed() {
-			if err := s.Feedback.AddWithSpread(cp.VectorF, run.Runtime, cp.PredictedDist.Spread); err != nil {
-				s.Metrics().Counter("feedback_rejected_total").Inc()
-			} else {
-				s.Metrics().Counter("feedback_samples_total").Inc()
-			}
-		}
-	}
-
-	s.mu.Lock()
-	s.stats.Requests++
-	s.stats.TotalMs += resp.OptimizationMs
-	s.mu.Unlock()
-	m := s.Metrics()
-	m.Counter("requests_total").Inc()
-	m.Counter("model_requests_" + resp.ModelVersion).Inc()
-	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
-	if s.Logger != nil {
-		s.Logger.Info("optimize",
-			"requestId", reqID,
-			"status", http.StatusOK,
-			"ms", resp.OptimizationMs,
-			"modelVersion", resp.ModelVersion,
-			"cache", how,
-			"predictedSec", resp.PredictedRuntimeSec)
-	}
-
-	w.Header().Set("X-Cache", how)
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.mu.Lock()
-		s.stats.Failures++
-		s.stats.LastError = err.Error()
-		s.mu.Unlock()
-		m.Counter("encode_failures_total").Inc()
-		m.Counter("failures_total").Inc()
-	}
-	return true
-}
-
-// record feeds one successful optimization into the metric registry.
-func (s *Server) record(resp OptimizeResponse, res *core.Result) {
-	m := s.Metrics()
-	m.Counter("requests_total").Inc()
-	m.Counter("model_requests_" + resp.ModelVersion).Inc()
-	if res.Degraded {
-		m.Counter("degraded_total").Inc()
-	}
-	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
-	m.Histogram("vectors_created").Observe(float64(res.Stats.VectorsCreated))
-	m.Histogram("model_rows").Observe(float64(res.Stats.ModelRows))
-	if res.Stats.ModelBatches > 0 {
-		m.Histogram("model_batch_rows").Observe(float64(res.Stats.ModelRows) / float64(res.Stats.ModelBatches))
-	}
-	m.Counter("model_batches_total").Add(int64(res.Stats.ModelBatches))
-	m.Counter("model_rows_total").Add(int64(res.Stats.ModelRows))
-	m.Counter("memo_hits_total").Add(int64(res.Stats.MemoHits))
-	m.Counter("interval_kept_total").Add(int64(res.Stats.IntervalKept))
-	m.Histogram("plan_spread").Observe(res.PredictedDist.Spread)
-	m.Histogram("plan_interval_width").Observe(res.PredictedDist.Hi - res.PredictedDist.Lo)
-	m.Counter("pool_rounds_total").Add(int64(res.Stats.Par.Rounds))
-	m.Counter("pool_tasks_total").Add(int64(res.Stats.Par.Tasks))
-	m.Counter("pool_steals_total").Add(int64(res.Stats.Par.Steals))
-	if res.Stats.Par.MaxQueueDepth > 0 {
-		m.Histogram("pool_queue_depth").Observe(float64(res.Stats.Par.MaxQueueDepth))
-	}
-	for stage, ms := range res.Stats.Timings.Milliseconds() {
-		m.Histogram("stage_" + stage + "_ms").Observe(ms)
-	}
-}
-
-// logOptimize emits one structured record for a failed optimize request.
-// (The success path logs inline, where the full response is in scope.)
-func (s *Server) logOptimize(reqID string, status int, start time.Time, modelVersion string, degraded bool, err error) {
-	if s.Logger == nil {
-		return
-	}
-	s.Logger.Error("optimize failed",
-		"requestId", reqID,
-		"status", status,
-		"ms", float64(time.Since(start).Microseconds())/1000,
-		"modelVersion", modelVersion,
-		"degraded", degraded,
-		"err", err.Error())
-}
-
-// fail reports an error reply as JSON and counts it.
-func (s *Server) fail(w http.ResponseWriter, reqID string, code int, err error) {
+// countFailure records a failed request in the legacy stats block and the
+// metric registry without writing anything — the accounting shared by
+// whole-request failures (fail) and per-member batch failures.
+func (s *Server) countFailure(err error) {
 	s.mu.Lock()
 	s.stats.Requests++
 	s.stats.Failures++
@@ -785,39 +430,12 @@ func (s *Server) fail(w http.ResponseWriter, reqID string, code int, err error) 
 	m := s.Metrics()
 	m.Counter("requests_total").Inc()
 	m.Counter("failures_total").Inc()
+}
+
+// fail reports an error reply as JSON and counts it.
+func (s *Server) fail(w http.ResponseWriter, reqID string, code int, err error) {
+	s.countFailure(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error(), RequestID: reqID})
-}
-
-func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	avg := 0.0
-	if n := s.stats.Requests - s.stats.Failures; n > 0 {
-		avg = s.stats.TotalMs / float64(n)
-	}
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"requests":         s.stats.Requests,
-		"failures":         s.stats.Failures,
-		"deadlineExceeded": s.stats.DeadlineExceeded,
-		"degraded":         s.stats.Degraded,
-		"avgMs":            avg,
-		"lastError":        s.stats.LastError,
-		"buildVersion":     buildinfo.Version(),
-		"goVersion":        buildinfo.GoVersion(),
-	})
-}
-
-func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	// ?format=prometheus serves the same registry in the Prometheus text
-	// exposition format (version 0.0.4) so a standard scraper can ingest it.
-	if r.URL.Query().Get("format") == "prometheus" {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.Metrics().WritePrometheus(w)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.Metrics().Snapshot())
 }

@@ -36,7 +36,7 @@ type TracezResponse struct {
 }
 
 func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
-	reqID := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	reqID := s.nextReqID()
 	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodGet {
 		s.fail(w, reqID, http.StatusMethodNotAllowed, errors.New("GET /tracez"))

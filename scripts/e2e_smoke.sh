@@ -12,11 +12,16 @@
 set -euo pipefail
 
 PORT="${SMOKE_PORT:-18099}"
+PORT_B="${SMOKE_PORT_B:-18100}"
 BASE="http://127.0.0.1:$PORT"
+BASE_B="http://127.0.0.1:$PORT_B"
+LOADGEN_DURATION="${SMOKE_LOADGEN_DURATION:-30s}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
+REPLICA_PID=""
 cleanup() {
   [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$REPLICA_PID" ] && kill "$REPLICA_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -28,7 +33,7 @@ die()  { echo "FAIL: $*" >&2; exit 1; }
 jget() { python3 -c "import json,sys; d=json.load(open('$1')); print($2)"; }
 
 say "building binaries"
-go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd
+go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd ./cmd/loadgen
 
 say "checking -version output"
 "$WORK/robopt" -version | grep -q '^robopt ' || die "robopt -version"
@@ -208,6 +213,79 @@ grep -Eq '^plan_cache_misses_total [0-9]+$' "$WORK/metricz.prom" \
 say "pprof stays off by default"
 [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")" = "404" ] \
   || die "/debug/pprof/ reachable without -pprof"
+
+say "starting replica B over the same model store"
+"$WORK/roboptd" -addr "127.0.0.1:$PORT_B" -model-dir "$WORK/store" \
+  -platforms 3 -store-watch-interval 200ms \
+  > "$WORK/replica-b.log" 2>&1 &
+REPLICA_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE_B/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { cat "$WORK/replica-b.log" >&2; die "replica B did not come up"; }
+  sleep 0.2
+done
+
+say "replica B is ready and boots on the store's active version (v2)"
+curl -s "$BASE_B/readyz" > "$WORK/readyz-b.json"
+[ "$(jget "$WORK/readyz-b.json" "d['ready']")" = "True" ] \
+  || die "replica B not ready: $(cat "$WORK/readyz-b.json")"
+[ "$(jget "$WORK/readyz-b.json" "d['modelVersion']")" = "v2" ] \
+  || die "replica B did not boot on v2: $(cat "$WORK/readyz-b.json")"
+
+say "promoting v1 on replica A; replica B must converge without a restart"
+curl -sf -XPOST "$BASE/modelz/promote?version=v1" >/dev/null
+CONVERGED=""
+for i in $(seq 1 50); do
+  curl -s "$BASE_B/readyz" > "$WORK/readyz-b2.json"
+  if [ "$(jget "$WORK/readyz-b2.json" "d['modelVersion']")" = "v1" ]; then
+    CONVERGED=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$CONVERGED" ] \
+  || die "replica B never converged on v1: $(cat "$WORK/readyz-b2.json")"
+[ "$(jget "$WORK/readyz-b2.json" "d['storeActive']")" = "v1" ] \
+  || die "replica B disagrees with the store marker: $(cat "$WORK/readyz-b2.json")"
+curl -sf -XPOST --data-binary @"$WORK/query.json" "$BASE_B/optimize" > "$WORK/conv.json"
+[ "$(jget "$WORK/conv.json" "d['modelVersion']")" = "v1" ] \
+  || die "replica B serves a stale model after convergence"
+curl -sf "$BASE_B/metricz" > "$WORK/metricz-b.json"
+[ "$(jget "$WORK/metricz-b.json" "d['counters']['store_watch_swaps_total'] >= 1")" = "True" ] \
+  || die "store_watch_swaps_total not incremented on replica B"
+
+say "batch endpoint dedups members by fingerprint"
+python3 -c "import json; q=json.load(open('$WORK/query.json')); print(json.dumps({'plans':[q,q]}))" \
+  > "$WORK/batch.json"
+curl -sf -XPOST --data-binary @"$WORK/batch.json" "$BASE_B/optimize/batch" > "$WORK/batchresp.json"
+[ "$(jget "$WORK/batchresp.json" "d['members']")" = "2" ] \
+  || die "batch response members != 2: $(cat "$WORK/batchresp.json")"
+[ "$(jget "$WORK/batchresp.json" "d['distinct']")" = "1" ] \
+  || die "identical batch members not fingerprint-deduped"
+[ "$(jget "$WORK/batchresp.json" "d['errors']")" = "0" ] \
+  || die "batch members failed: $(cat "$WORK/batchresp.json")"
+
+say "sustained loadgen burst against both replicas ($LOADGEN_DURATION)"
+"$WORK/loadgen" -replicas "$BASE,$BASE_B" -rate 40 -duration "$LOADGEN_DURATION" \
+  -distinct 8 -out "$WORK/BENCH_serving.json" > "$WORK/loadgen.log" 2>&1 \
+  || { cat "$WORK/loadgen.log" >&2; die "loadgen run failed"; }
+[ -s "$WORK/BENCH_serving.json" ] || die "loadgen wrote no BENCH_serving.json"
+[ "$(jget "$WORK/BENCH_serving.json" "d['ok'] > 0")" = "True" ] \
+  || die "loadgen saw no successful responses"
+[ "$(jget "$WORK/BENCH_serving.json" "d['throughputRps'] > 0")" = "True" ] \
+  || die "loadgen measured zero throughput"
+[ "$(jget "$WORK/BENCH_serving.json" "d['latencyMs']['p50'] > 0 and d['latencyMs']['p99'] >= d['latencyMs']['p50']")" = "True" ] \
+  || die "loadgen latency percentiles inconsistent"
+[ "$(jget "$WORK/BENCH_serving.json" "d['modelVersions'].get('v1', 0) > 0")" = "True" ] \
+  || die "loadgen responses not labeled with the converged model version"
+[ "$(jget "$WORK/BENCH_serving.json" "sum(d['perReplica']) == d['sent'] - d['transportErrors']")" = "True" ] \
+  || die "per-replica accounting does not reconcile"
+
+say "replica B drains cleanly"
+kill -TERM "$REPLICA_PID"
+RC=0
+wait "$REPLICA_PID" || RC=$?
+[ "$RC" = "0" ] || die "replica B exited $RC on SIGTERM"
+REPLICA_PID=""
 
 say "graceful shutdown on SIGTERM"
 kill -TERM "$DAEMON_PID"
