@@ -18,6 +18,14 @@
 // -distinct seeds, which controls how much the plan cache can help; the
 // other shapes are structurally constant and cache-hot after one request
 // each per model version.
+//
+// Every request carries a client-minted W3C traceparent (sampled when
+// -trace-force is set), so the -slowest report and the "slowestRequests"
+// section of the summary name trace IDs retrievable from the server via
+// /tracez?id= — the p99-chasing loop in EXPERIMENTS.md. With -slo, the run
+// ends by scraping each replica's /sloz and exits 1 on any breach (or
+// unreachable/SLO-less replica); -slo-latency-ms with -slo-target adds a
+// client-side assertion over this run's own latencies.
 package main
 
 import (
@@ -56,6 +64,11 @@ func main() {
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 		outPath     = flag.String("out", "BENCH_serving.json", "write the JSON summary here")
 		seed        = flag.Int64("seed", 1, "seed for the plan mix and random plans")
+		traceForce  = flag.Bool("trace-force", false, "set the traceparent sampled flag, forcing the server to retain every request's trace")
+		slowestN    = flag.Int("slowest", 8, "how many of the slowest requests to report with their trace IDs (0 disables)")
+		sloAssert   = flag.Bool("slo", false, "after the run, scrape each replica's /sloz and exit 1 if any reports an SLO breach")
+		sloLatency  = flag.Float64("slo-latency-ms", 0, "client-side SLO assertion: with -slo-target, exit 1 unless this fraction of sent requests completed OK within this latency")
+		sloTarget   = flag.Float64("slo-target", 0, "client-side SLO assertion target fraction (see -slo-latency-ms)")
 		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -91,6 +104,7 @@ func main() {
 		shed      int64
 		degraded  int64
 		transport int64
+		slowest   []slowRequest
 	)
 	var inflight atomic.Int64
 	var offered, skipped int64
@@ -118,13 +132,28 @@ loop:
 			i := int(offered)
 			body := bodies[rng.Intn(len(bodies))]
 			target := replicas[i%len(replicas)]
+			// Every request carries a W3C traceparent minted here, so any
+			// server-retained trace is addressable by an ID the client knows
+			// — the slowest-request report below links straight to
+			// /tracez?id=. (rng is only touched on this dispatch goroutine.)
+			traceID := fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+			header := traceparent(traceID, rng.Uint64(), *traceForce)
 			inflight.Add(1)
 			wg.Add(1)
-			go func(replica int, target string, body []byte) {
+			go func(replica int, target string, body []byte, traceID, header string) {
 				defer wg.Done()
 				defer inflight.Add(-1)
 				t0 := time.Now()
-				resp, err := client.Post(target+"/optimize"+query, "application/json", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, target+"/optimize"+query, bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					transport++
+					mu.Unlock()
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("traceparent", header)
+				resp, err := client.Do(req)
 				ms := float64(time.Since(t0).Microseconds()) / 1000
 				if err != nil {
 					mu.Lock()
@@ -156,9 +185,17 @@ loop:
 					if or.DegradeReason == "load-shed" {
 						shed++
 					}
+					if *slowestN > 0 {
+						slowest = recordSlowest(slowest, *slowestN, slowRequest{
+							Ms:      ms,
+							TraceID: traceID,
+							Replica: target,
+							Cache:   resp.Header.Get("X-Cache"),
+						})
+					}
 				}
 				mu.Unlock()
-			}(i%len(replicas), target, body)
+			}(i%len(replicas), target, body, traceID, header)
 		}
 	}
 	ticker.Stop()
@@ -210,6 +247,13 @@ loop:
 		"modelVersions": versions,
 		"perReplica":    byReplica,
 	}
+	if *slowestN > 0 {
+		sort.Slice(slowest, func(i, j int) bool { return slowest[i].Ms > slowest[j].Ms })
+		summary["slowestRequests"] = slowest
+	}
+	if *sloAssert {
+		summary["sloz"] = scrapeSloz(client, replicas)
+	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -222,9 +266,147 @@ loop:
 		ok, sent, float64(ok)/elapsed.Seconds(),
 		percentile(latencies, 0.5), percentile(latencies, 0.99),
 		100*rate3(cache["hit"]+cache["collapsed"], ok), shed, rejected, *outPath)
-	if ok == 0 {
+	for _, s := range slowest {
+		log.Printf("slow: %.1fms trace %s (%s/tracez?id=%s)%s",
+			s.Ms, s.TraceID, s.Replica, s.TraceID, cacheNote(s.Cache))
+	}
+	failed := ok == 0
+
+	// SLO assertions: the server-side verdict comes from each replica's
+	// multi-window burn tracker via /sloz; the client-side one from this
+	// run's own latency observations.
+	if *sloAssert {
+		for _, sz := range scrapeSloz(client, replicas) {
+			switch {
+			case sz.Err != "":
+				log.Printf("slo: %s unreachable: %s", sz.Replica, sz.Err)
+				failed = true
+			case !sz.Enabled:
+				log.Printf("slo: %s has no SLO configured (roboptd -slo-latency-ms)", sz.Replica)
+				failed = true
+			case sz.Breached:
+				log.Printf("slo: BREACH on %s (objective %.0fms target %.3f): %s",
+					sz.Replica, sz.ObjectiveMs, sz.Target, burnString(sz.Windows))
+				failed = true
+			default:
+				log.Printf("slo: %s ok: %s", sz.Replica, burnString(sz.Windows))
+			}
+		}
+	}
+	if *sloLatency > 0 && *sloTarget > 0 {
+		within := int64(0)
+		for _, ms := range latencies {
+			if ms <= *sloLatency {
+				within++
+			}
+		}
+		achieved := 0.0
+		if sent > 0 {
+			achieved = float64(within) / float64(sent)
+		}
+		if achieved < *sloTarget {
+			log.Printf("slo: CLIENT BREACH: %.4f of sent requests completed within %.0fms, target %.4f",
+				achieved, *sloLatency, *sloTarget)
+			failed = true
+		} else {
+			log.Printf("slo: client-side ok: %.4f within %.0fms (target %.4f)", achieved, *sloLatency, *sloTarget)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// slowRequest is one of the run's slowest OK responses, with the trace ID
+// the request propagated — the handle for /tracez?id= exemplar chasing.
+type slowRequest struct {
+	Ms      float64 `json:"ms"`
+	TraceID string  `json:"traceId"`
+	Replica string  `json:"replica"`
+	Cache   string  `json:"cache,omitempty"`
+}
+
+// recordSlowest keeps the n slowest requests (unordered; sorted at report
+// time). Linear replacement of the current minimum — n is small.
+func recordSlowest(have []slowRequest, n int, r slowRequest) []slowRequest {
+	if len(have) < n {
+		return append(have, r)
+	}
+	minIdx := 0
+	for i := 1; i < len(have); i++ {
+		if have[i].Ms < have[minIdx].Ms {
+			minIdx = i
+		}
+	}
+	if r.Ms > have[minIdx].Ms {
+		have[minIdx] = r
+	}
+	return have
+}
+
+// traceparent renders a W3C trace-context header for one request.
+func traceparent(traceID string, spanRand uint64, forced bool) string {
+	flags := "00"
+	if forced {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%016x-%s", traceID, spanRand, flags)
+}
+
+func cacheNote(c string) string {
+	if c == "" {
+		return ""
+	}
+	return " cache=" + c
+}
+
+// slozResult is one replica's /sloz reply, tagged with its origin.
+type slozResult struct {
+	Replica     string       `json:"replica"`
+	Err         string       `json:"err,omitempty"`
+	Enabled     bool         `json:"enabled"`
+	ObjectiveMs float64      `json:"objectiveMs"`
+	Target      float64      `json:"target"`
+	Breached    bool         `json:"breached"`
+	Windows     []slozWindow `json:"windows,omitempty"`
+}
+
+type slozWindow struct {
+	Window   string  `json:"window"`
+	Total    int64   `json:"total"`
+	BurnRate float64 `json:"burnRate"`
+}
+
+// scrapeSloz reads every replica's SLO state after the run.
+func scrapeSloz(client *http.Client, replicas []string) []slozResult {
+	out := make([]slozResult, 0, len(replicas))
+	for _, base := range replicas {
+		sz := slozResult{Replica: base}
+		resp, err := client.Get(base + "/sloz")
+		if err != nil {
+			sz.Err = err.Error()
+			out = append(out, sz)
+			continue
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+			sz.Err = err.Error()
+		}
+		resp.Body.Close()
+		out = append(out, sz)
+	}
+	return out
+}
+
+// burnString renders the window burn rates compactly for the log line.
+func burnString(windows []slozWindow) string {
+	parts := make([]string, 0, len(windows))
+	for _, w := range windows {
+		parts = append(parts, fmt.Sprintf("%s %.2fx/%d", w.Window, w.BurnRate, w.Total))
+	}
+	if len(parts) == 0 {
+		return "no windows"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // planMix parses "name=weight,..." into a weighted pool of marshaled plan

@@ -54,12 +54,26 @@
 //
 // # Observability
 //
-// Each request records a span trace keyed by its request ID; notable traces
-// (slow, degraded, errored, or requested with ?trace=1) are always retained
-// for GET /tracez, unremarkable ones at the -trace-sample rate. /metricz
-// serves Prometheus text exposition with ?format=prometheus, -pprof mounts
-// net/http/pprof under /debug/pprof/, and -log-level/-log-format control the
-// structured (log/slog) request and retraining logs.
+// Each request records a span trace keyed by its request ID — or by the
+// caller's W3C trace ID when the request carries a traceparent header, whose
+// sampled flag forces retention like ?trace=1. Notable traces (slow,
+// degraded, errored, or forced) are always retained for GET /tracez,
+// unremarkable ones at the -trace-sample rate. /metricz serves Prometheus
+// text exposition with ?format=prometheus (labeled serving series carry
+// exemplar trace IDs resolvable via /tracez), -pprof mounts net/http/pprof
+// under /debug/pprof/, and -log-level/-log-format control the structured
+// (log/slog) request and retraining logs.
+//
+// With -slo-latency-ms/-slo-target, every request feeds a rolling
+// multi-window SLO tracker: GET /sloz reports each window's error-budget
+// burn rate and the combined breach verdict, and the same numbers export as
+// slo_* gauges on /metricz.
+//
+// Replicas sharing a -model-dir also register themselves in it
+// (-replica-id/-advertise/-fleet-heartbeat): GET /fleetz on any replica —
+// or the obsctl command — scrapes every registered replica and merges the
+// fleet view (readiness, model-version convergence, cache hit rate, shed
+// rate, worst SLO burn).
 package main
 
 import (
@@ -71,6 +85,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -117,6 +132,11 @@ func main() {
 		admitQueue  = flag.Int("admit-queue", 0, "max request units waiting for an admission slot; beyond it requests get 429 (0 = 4x concurrency, negative = no queue)")
 		shedThresh  = flag.Float64("shed-threshold", service.DefaultShedFraction, "queue-occupancy fraction past which admitted requests are shed to the degraded beam (>= 1 disables shedding)")
 		batchMax    = flag.Int("batch-members", service.DefaultMaxBatchMembers, "max plans accepted by one POST /optimize/batch call")
+		sloLatency  = flag.Float64("slo-latency-ms", 500, "latency objective: a request slower than this burns SLO error budget (0 disables SLO tracking)")
+		sloTarget   = flag.Float64("slo-target", 0.99, "availability target: the fraction of requests that must meet the latency objective")
+		replicaID   = flag.String("replica-id", "", "fleet identity of this replica (default host:pid)")
+		advertise   = flag.String("advertise", "", "address other replicas scrape this one at (default -addr, with the hostname filled in)")
+		fleetHB     = flag.Duration("fleet-heartbeat", 5*time.Second, "re-register in the shared -model-dir fleet at this period (0 disables registration)")
 		showVersion = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -238,6 +258,18 @@ func main() {
 		Logger:          logger,
 		EnablePprof:     *pprofFlag,
 	}
+	if *sloLatency > 0 {
+		srv.SLO = obs.NewSLO(*sloLatency, *sloTarget)
+		logger.Info("slo tracking enabled", "objectiveMs", *sloLatency, "target", *sloTarget)
+	}
+	srv.ReplicaID = *replicaID
+	if srv.ReplicaID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "localhost"
+		}
+		srv.ReplicaID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
 	if *admitConc >= 0 {
 		srv.Admission = &service.Admission{
 			MaxConcurrent: *admitConc,
@@ -317,6 +349,31 @@ func main() {
 		logger.Info("store watcher enabled", "dir", *modelDir, "interval", *watchIntv)
 	}
 
+	// Fleet registration: heartbeat this replica's scrape address into the
+	// shared store so GET /fleetz and obsctl discover it. The loop
+	// deregisters when rootCtx is cancelled, i.e. before the drain finishes,
+	// so a clean shutdown leaves no stale record behind.
+	var replicaDone <-chan struct{}
+	if store != nil && *fleetHB > 0 {
+		scrapeAddr := *advertise
+		if scrapeAddr == "" {
+			scrapeAddr = *addr
+		}
+		if strings.HasPrefix(scrapeAddr, ":") {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "localhost"
+			}
+			scrapeAddr = host + scrapeAddr
+		}
+		replicaDone, err = srv.RegisterReplicaLoop(rootCtx, scrapeAddr, *fleetHB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("fleet registration enabled",
+			"replicaId", srv.ReplicaID, "addr", scrapeAddr, "heartbeat", *fleetHB)
+	}
+
 	// The write timeout leaves headroom over the optimization deadline so a
 	// degraded-or-timed-out response can still be written; the read timeout
 	// bounds slow-loris plan uploads.
@@ -330,7 +387,7 @@ func main() {
 	}
 	logger.Info("serving",
 		"addr", *addr,
-		"endpoints", "POST /optimize, POST /optimize/batch, GET /healthz, GET /readyz, GET /statz, GET /metricz, GET /tracez, GET /modelz, GET /cachez",
+		"endpoints", "POST /optimize, POST /optimize/batch, GET /healthz, GET /readyz, GET /statz, GET /metricz, GET /tracez, GET /sloz, GET /fleetz, GET /modelz, GET /cachez",
 		"model", art.Version,
 		"workers", core.ResolveWorkers(*workers),
 		"deadline", *deadline,
@@ -365,6 +422,10 @@ func main() {
 	if watcherDone != nil {
 		<-watcherDone
 		logger.Info("store watcher stopped")
+	}
+	if replicaDone != nil {
+		<-replicaDone
+		logger.Info("fleet registration removed")
 	}
 	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
 		logger.Error("drain incomplete; open connections were cut", "err", drainErr)

@@ -162,6 +162,12 @@ type Context struct {
 	// per-run fields it must not be swapped mid-run.
 	Trace *obs.Trace
 
+	// TraceParent, when set alongside Trace, parents the run's root span
+	// under an existing span of the same trace — how a batch member's
+	// optimization nests under the batch root span. Nil (the default) keeps
+	// the root span at the top level. Untraced runs ignore it entirely.
+	TraceParent *obs.Span
+
 	// Risk configures uncertainty-aware scoring and pruning (see Risk).
 	// The zero value keeps the historical point-estimate behavior exactly.
 	Risk Risk
@@ -219,7 +225,7 @@ func (c *Context) beginRunTrace() *obs.Span {
 		return nil
 	}
 	c.rt = c.newRunTrace()
-	c.root = c.Trace.StartSpan(nil, "optimize")
+	c.root = c.Trace.StartSpan(c.TraceParent, "optimize")
 	c.root.SetInt("ops", int64(c.Plan.NumOps()))
 	c.root.SetFloat("searchSpace", c.SearchSpaceSize())
 	return c.root

@@ -1,0 +1,223 @@
+// Package fleet turns a set of registered replicas into one merged
+// observability view: it scrapes each replica's /readyz and /metricz,
+// distills the per-replica health signals an operator actually pages on
+// (readiness, model version, cache hit rate, queue depth, shed rate, SLO
+// burn), and rolls them up fleet-wide. Both GET /fleetz on any replica and
+// the obsctl CLI render this same view, so the dashboard, the API and the
+// terminal never disagree about what the fleet looks like.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// DefaultScrapeTimeout bounds one replica's scrape; a hung replica turns
+// into an errored row, not a hung fleet view.
+const DefaultScrapeTimeout = 3 * time.Second
+
+// ReplicaStatus is one replica's distilled state.
+type ReplicaStatus struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Err carries the scrape failure when the replica was unreachable;
+	// every other field is zero then.
+	Err string `json:"err,omitempty"`
+
+	Ready        bool   `json:"ready"`
+	ReadyReason  string `json:"readyReason,omitempty"`
+	ModelVersion string `json:"modelVersion,omitempty"`
+
+	Requests     int64   `json:"requests"`
+	Failures     int64   `json:"failures"`
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	QueueDepth   float64 `json:"queueDepth"`
+	Shed         int64   `json:"shed"`
+	ShedRate     float64 `json:"shedRate"`
+
+	// BurnRates maps SLO window name to burn rate (slo_burn_rate_*
+	// gauges); Breached mirrors the replica's slo_breached gauge.
+	BurnRates map[string]float64 `json:"burnRates,omitempty"`
+	Breached  bool               `json:"breached,omitempty"`
+}
+
+// readyzReply is the subset of the service's /readyz body the scraper needs
+// (declared locally: the service package imports this one).
+type readyzReply struct {
+	Ready        bool   `json:"ready"`
+	Reason       string `json:"reason,omitempty"`
+	ModelVersion string `json:"modelVersion,omitempty"`
+}
+
+// getJSON fetches url and decodes the body, accepting non-200 statuses
+// (readyz answers 503 with a meaningful body while draining).
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ScrapeReplica collects one replica's status. Scrape errors are reported
+// in the row, never returned: a down replica is a finding, not a failure.
+func ScrapeReplica(ctx context.Context, client *http.Client, info registry.ReplicaInfo) ReplicaStatus {
+	st := ReplicaStatus{ID: info.ID, Addr: info.Addr}
+	base := "http://" + info.Addr
+
+	var rz readyzReply
+	if err := getJSON(ctx, client, base+"/readyz", &rz); err != nil {
+		st.Err = fmt.Sprintf("readyz: %v", err)
+		return st
+	}
+	st.Ready, st.ReadyReason, st.ModelVersion = rz.Ready, rz.Reason, rz.ModelVersion
+
+	var mz obs.Snapshot
+	if err := getJSON(ctx, client, base+"/metricz", &mz); err != nil {
+		st.Err = fmt.Sprintf("metricz: %v", err)
+		return st
+	}
+	st.Requests = mz.Counters["requests_total"]
+	st.Failures = mz.Counters["failures_total"]
+	st.CacheHits = mz.Counters["plan_cache_hits_total"]
+	st.CacheMisses = mz.Counters["plan_cache_misses_total"]
+	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(looked)
+	}
+	st.Shed = mz.Counters["shed_total"]
+	if st.Requests > 0 {
+		st.ShedRate = float64(st.Shed) / float64(st.Requests)
+	}
+	st.QueueDepth = mz.Gauges["admission_queue_depth"]
+	st.Breached = mz.Gauges["slo_breached"] > 0
+	for name, v := range mz.Gauges {
+		if w, ok := strings.CutPrefix(name, "slo_burn_rate_"); ok {
+			if st.BurnRates == nil {
+				st.BurnRates = map[string]float64{}
+			}
+			st.BurnRates[w] = v
+		}
+	}
+	return st
+}
+
+// Scrape collects every replica concurrently, preserving input order. A nil
+// client gets DefaultScrapeTimeout.
+func Scrape(ctx context.Context, client *http.Client, replicas []registry.ReplicaInfo) []ReplicaStatus {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultScrapeTimeout}
+	}
+	out := make([]ReplicaStatus, len(replicas))
+	var wg sync.WaitGroup
+	for i, info := range replicas {
+		wg.Add(1)
+		go func(i int, info registry.ReplicaInfo) {
+			defer wg.Done()
+			out[i] = ScrapeReplica(ctx, client, info)
+		}(i, info)
+	}
+	wg.Wait()
+	return out
+}
+
+// Rollup is the fleet-wide aggregate over a scrape.
+type Rollup struct {
+	Replicas    int `json:"replicas"`
+	Ready       int `json:"ready"`
+	Unreachable int `json:"unreachable"`
+	// ModelVersions counts replicas per served model version; more than
+	// one key means the fleet has not converged on a promotion yet.
+	ModelVersions map[string]int `json:"modelVersions,omitempty"`
+	Requests      int64          `json:"requests"`
+	Failures      int64          `json:"failures"`
+	CacheHitRate  float64        `json:"cacheHitRate"`
+	ShedRate      float64        `json:"shedRate"`
+	// MaxBurnRate is the worst per-window burn rate anywhere in the fleet
+	// (window name in MaxBurnWindow); Breached counts replicas whose own
+	// multi-window verdict fired.
+	MaxBurnRate   float64 `json:"maxBurnRate"`
+	MaxBurnWindow string  `json:"maxBurnWindow,omitempty"`
+	Breached      int     `json:"breached"`
+}
+
+// Aggregate rolls statuses up fleet-wide. Rate aggregates weight by
+// traffic (summed numerators over summed denominators), not by replica.
+func Aggregate(statuses []ReplicaStatus) Rollup {
+	r := Rollup{Replicas: len(statuses), ModelVersions: map[string]int{}}
+	var hits, looked, shed int64
+	for _, st := range statuses {
+		if st.Err != "" {
+			r.Unreachable++
+			continue
+		}
+		if st.Ready {
+			r.Ready++
+		}
+		if st.ModelVersion != "" {
+			r.ModelVersions[st.ModelVersion]++
+		}
+		r.Requests += st.Requests
+		r.Failures += st.Failures
+		hits += st.CacheHits
+		looked += st.CacheHits + st.CacheMisses
+		shed += st.Shed
+		if st.Breached {
+			r.Breached++
+		}
+		for w, b := range st.BurnRates {
+			if b > r.MaxBurnRate {
+				r.MaxBurnRate, r.MaxBurnWindow = b, w
+			}
+		}
+	}
+	if looked > 0 {
+		r.CacheHitRate = float64(hits) / float64(looked)
+	}
+	if r.Requests > 0 {
+		r.ShedRate = float64(shed) / float64(r.Requests)
+	}
+	if len(r.ModelVersions) == 0 {
+		r.ModelVersions = nil
+	}
+	return r
+}
+
+// View is the complete fleet view: the rollup plus per-replica rows, the
+// JSON body of GET /fleetz and the data behind obsctl's table.
+type View struct {
+	ScrapedAt time.Time       `json:"scrapedAt"`
+	Fleet     Rollup          `json:"fleet"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+}
+
+// Collect discovers the live replicas in store, scrapes them and aggregates
+// — the one-call form both /fleetz and obsctl use.
+func Collect(ctx context.Context, store *registry.Store, ttl time.Duration, client *http.Client) (View, error) {
+	replicas, err := store.Replicas(ttl)
+	if err != nil {
+		return View{}, err
+	}
+	statuses := Scrape(ctx, client, replicas)
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].ID < statuses[j].ID })
+	return View{
+		ScrapedAt: time.Now().UTC(),
+		Fleet:     Aggregate(statuses),
+		Replicas:  statuses,
+	}, nil
+}

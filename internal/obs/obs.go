@@ -69,12 +69,23 @@ func (g *Gauge) Add(d float64) {
 // spans twelve decades — microseconds to hours when observing milliseconds.
 const numBuckets = 40
 
+// Exemplar ties a recent observation to the trace that produced it: the
+// operational bridge from a histogram bucket ("p99 spiked") to a retained
+// trace ("this request is why"). Stored per bucket, last writer wins.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"traceId"`
+}
+
 // Histogram is a fixed-layout exponential histogram. Observations and
 // snapshots are lock-free; the float64 sum is maintained with a CAS loop.
+// Each bucket optionally retains the exemplar of its most recent traced
+// observation (ObserveExemplar).
 type Histogram struct {
-	count   atomic.Int64
-	sumBits atomic.Uint64
-	buckets [numBuckets]atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	buckets   [numBuckets]atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketOf maps a value to its bucket index.
@@ -103,6 +114,18 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, stamps
+// it as the exemplar of the value's bucket — a plain Observe otherwise. The
+// caller passes a trace ID only for runs whose trace was actually retained,
+// so every exposed exemplar is resolvable via /tracez?id=.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || math.IsNaN(v) {
+		return
+	}
+	h.exemplars[bucketOf(v)].Store(&Exemplar{Value: v, TraceID: traceID})
 }
 
 // Count returns the number of observations.
@@ -163,10 +186,12 @@ type HistogramSnapshot struct {
 }
 
 // BucketOfHist is one cumulative histogram bucket: Count observations were
-// ≤ Le.
+// ≤ Le. Exemplar, when present, names a retained trace whose observation
+// landed in this (non-cumulative) bucket.
 type BucketOfHist struct {
-	Le    float64 `json:"le"`
-	Count int64   `json:"count"`
+	Le       float64   `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting (buckets are read
@@ -185,7 +210,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			continue
 		}
 		cum += n
-		s.Le = append(s.Le, BucketOfHist{Le: math.Pow(2, float64(i)), Count: cum})
+		s.Le = append(s.Le, BucketOfHist{Le: math.Pow(2, float64(i)), Count: cum, Exemplar: h.exemplars[i].Load()})
 	}
 	return s
 }
@@ -198,6 +223,8 @@ type Registry struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 	gauges   map[string]*Gauge
+	cvecs    map[string]*CounterVec
+	hvecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -206,6 +233,8 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		hists:    map[string]*Histogram{},
 		gauges:   map[string]*Gauge{},
+		cvecs:    map[string]*CounterVec{},
+		hvecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -273,7 +302,9 @@ type Snapshot struct {
 }
 
 // Snapshot captures every registered metric. Names are sorted into the maps
-// deterministically (Go maps marshal in sorted key order).
+// deterministically (Go maps marshal in sorted key order). Labeled series
+// appear under their full exposition name — `family{k="v",...}` — so JSON
+// consumers see one flat namespace.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -289,8 +320,18 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, n := range names {
 		s.Counters[n] = r.counters[n].Load()
 	}
+	for n, v := range r.cvecs {
+		for key, val := range v.snapshot() {
+			s.Counters[n+"{"+key+"}"] = val
+		}
+	}
 	for n, h := range r.hists {
 		s.Histograms[n] = h.Snapshot()
+	}
+	for n, v := range r.hvecs {
+		for key, hs := range v.snapshot() {
+			s.Histograms[n+"{"+key+"}"] = hs
+		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]float64, len(r.gauges))

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"flag"
 	"math"
 	"os"
 	"path/filepath"
@@ -9,9 +10,13 @@ import (
 	"testing"
 )
 
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
 // TestWritePrometheusGolden pins the exposition byte-for-byte against
 // testdata/metrics.prom: the format is a wire contract with scrapers, so any
 // drift (ordering, quoting, float formatting) should be a conscious change.
+// The fixture covers plain counters/gauges/histograms, labeled families, and
+// an exemplar carrying a trace ID.
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("requests_total").Add(3)
@@ -22,11 +27,25 @@ func TestWritePrometheusGolden(t *testing.T) {
 	h.Observe(3)   // bucket le=4
 	h.Observe(100) // bucket le=128
 
+	cv := r.CounterVec("serving_requests_total", "endpoint", "outcome")
+	cv.With("optimize", "ok").Add(5)
+	cv.With("optimize", "shed").Inc()
+	cv.With("batch", "ok").Add(2)
+	hv := r.HistogramVec("serving_latency_ms", "endpoint")
+	hv.With("optimize").ObserveExemplar(3, "4bf92f3577b34da6a3ce929d0e0e4736")
+	hv.With("optimize").Observe(0.5)
+	hv.With("batch").Observe(12)
+
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatal(err)

@@ -87,12 +87,25 @@ func (s *Span) End() {
 	s.Duration = time.Since(s.Start)
 }
 
+// TraceLink references another trace this one is causally tied to without
+// being part of its span tree: a singleflight follower links the leader's
+// trace, a cache hit links the trace that produced the cached plan. Reason
+// names the relationship ("singleflight-leader", "cache-origin", ...).
+type TraceLink struct {
+	TraceID string `json:"traceId"`
+	Reason  string `json:"reason"`
+}
+
 // Trace is the span tree of one optimization run. The trace ID is the
-// request ID in the service, so a trace is joinable against logs and the
-// response's requestId field.
+// request ID in the service unless the caller propagated a W3C traceparent,
+// in which case ID is the remote 32-hex trace ID and RequestID keeps the
+// local join key against logs and the response's requestId field.
 type Trace struct {
 	ID    string
 	Start time.Time
+	// RequestID is the serving request ID when it differs from ID (i.e. the
+	// trace ID came in via traceparent).
+	RequestID string
 	// Duration is the whole trace's wall-clock time, set by End.
 	Duration time.Duration
 	// Retained names why the tracer kept this trace ("forced", "error",
@@ -103,6 +116,7 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []*Span
+	links []TraceLink
 	seq   uint64 // ring insertion order, set by Tracer.Finish
 }
 
@@ -148,6 +162,22 @@ func (t *Trace) SetError(msg string) {
 	t.Error = msg
 }
 
+// AddLink records a causal link to another trace. Nil-safe; duplicate links
+// (same ID and reason) are collapsed so retry loops don't grow the list.
+func (t *Trace) AddLink(traceID, reason string) {
+	if t == nil || traceID == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, l := range t.links {
+		if l.TraceID == traceID && l.Reason == reason {
+			return
+		}
+	}
+	t.links = append(t.links, TraceLink{TraceID: traceID, Reason: reason})
+}
+
 // NumSpans returns the number of spans recorded so far.
 func (t *Trace) NumSpans() int {
 	if t == nil {
@@ -161,10 +191,12 @@ func (t *Trace) NumSpans() int {
 // TraceSnapshot is the JSON-ready state of a finished trace.
 type TraceSnapshot struct {
 	ID         string         `json:"id"`
+	RequestID  string         `json:"requestId,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMs float64        `json:"durationMs"`
 	Retained   string         `json:"retained,omitempty"`
 	Error      string         `json:"error,omitempty"`
+	Links      []TraceLink    `json:"links,omitempty"`
 	Spans      []SpanSnapshot `json:"spans"`
 }
 
@@ -186,6 +218,7 @@ func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 func (t *Trace) Snapshot() TraceSnapshot {
 	snap := TraceSnapshot{
 		ID:         t.ID,
+		RequestID:  t.RequestID,
 		Start:      t.Start,
 		DurationMs: durMs(t.Duration),
 		Retained:   t.Retained,
@@ -193,6 +226,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	}
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	snap.Links = append([]TraceLink(nil), t.links...)
 	t.mu.Unlock()
 	snap.Spans = make([]SpanSnapshot, len(spans))
 	for i, s := range spans {
@@ -277,6 +311,20 @@ func (t *Tracer) Cap() int {
 		return 0
 	}
 	return len(t.slots)
+}
+
+// Occupancy returns how many ring slots currently hold a retained trace.
+func (t *Tracer) Occupancy() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Retained and Dropped count Finish decisions.
@@ -376,14 +424,16 @@ func (t *Tracer) Recent(n int) []*Trace {
 }
 
 // Get returns the retained trace with the given ID (the newest, should the
-// ring hold several), or nil.
+// ring hold several), or nil. A trace started by a remote caller matches
+// either its propagated trace ID or its local request ID, so both handles
+// printed by clients resolve.
 func (t *Tracer) Get(id string) *Trace {
 	if t == nil {
 		return nil
 	}
 	var best *Trace
 	for i := range t.slots {
-		if tr := t.slots[i].Load(); tr != nil && tr.ID == id {
+		if tr := t.slots[i].Load(); tr != nil && (tr.ID == id || tr.RequestID == id) {
 			if best == nil || tr.seq > best.seq {
 				best = tr
 			}

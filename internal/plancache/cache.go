@@ -74,12 +74,17 @@ type CachedPlan struct {
 	// Stats are the enumeration counters of the run that produced the
 	// plan (for inspection; hits report zero work of their own).
 	Stats core.Stats
+	// TraceID names the trace of the enumeration that produced this plan,
+	// when that run was traced. Requests served from the entry link it
+	// ("cache-origin"), so a cache hit's trace points back at the retained
+	// trace holding the real enumeration spans. Empty on untraced runs.
+	TraceID string
 }
 
 // size is the entry's byte accounting: the slices plus a fixed overhead for
 // the struct, key and list bookkeeping.
 func (cp *CachedPlan) size() int64 {
-	return int64(len(cp.AssignCanon)) + int64(8*len(cp.VectorF)) + 256
+	return int64(len(cp.AssignCanon)) + int64(8*len(cp.VectorF)) + int64(len(cp.TraceID)) + 256
 }
 
 // FromResult converts a finished optimization into a cacheable plan, storing

@@ -1,0 +1,164 @@
+package registry_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func openFleetStore(t *testing.T) *registry.Store {
+	t.Helper()
+	st, err := registry.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return st
+}
+
+func TestReplicaRegistration(t *testing.T) {
+	st := openFleetStore(t)
+
+	// An empty store has an empty fleet, not an error.
+	if reps, err := st.Replicas(0); err != nil || len(reps) != 0 {
+		t.Fatalf("empty fleet = %v, %v", reps, err)
+	}
+
+	for _, id := range []string{"b", "a"} {
+		if err := st.RegisterReplica(registry.ReplicaInfo{ID: id, Addr: id + ":8080"}); err != nil {
+			t.Fatalf("RegisterReplica(%s): %v", id, err)
+		}
+	}
+	reps, err := st.Replicas(0)
+	if err != nil {
+		t.Fatalf("Replicas: %v", err)
+	}
+	if len(reps) != 2 || reps[0].ID != "a" || reps[1].ID != "b" {
+		t.Fatalf("fleet = %+v, want [a b] sorted by ID", reps)
+	}
+	for _, r := range reps {
+		if r.LastSeen.IsZero() || r.StartedAt.IsZero() {
+			t.Errorf("replica %s missing timestamps: %+v", r.ID, r)
+		}
+	}
+
+	// A heartbeat refreshes LastSeen but keeps StartedAt.
+	started := reps[0].StartedAt
+	time.Sleep(5 * time.Millisecond)
+	if err := st.RegisterReplica(registry.ReplicaInfo{ID: "a", Addr: "a:8080", StartedAt: started}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	reps, _ = st.Replicas(0)
+	if !reps[0].LastSeen.After(reps[0].StartedAt) {
+		t.Errorf("heartbeat did not advance LastSeen past StartedAt: %+v", reps[0])
+	}
+
+	if err := st.DeregisterReplica("a"); err != nil {
+		t.Fatalf("DeregisterReplica: %v", err)
+	}
+	if reps, _ = st.Replicas(0); len(reps) != 1 || reps[0].ID != "b" {
+		t.Fatalf("fleet after deregister = %+v, want [b]", reps)
+	}
+	// Deregistering an absent replica is a no-op, not an error.
+	if err := st.DeregisterReplica("gone"); err != nil {
+		t.Fatalf("absent deregister: %v", err)
+	}
+}
+
+func TestReplicaRegistrationNeedsID(t *testing.T) {
+	st := openFleetStore(t)
+	if err := st.RegisterReplica(registry.ReplicaInfo{Addr: "x:1"}); err == nil {
+		t.Fatal("ID-less registration accepted")
+	}
+}
+
+// TestReplicaTTL: records whose last heartbeat is older than the TTL age
+// out of the listing; half-written or foreign files are skipped.
+func TestReplicaTTL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := registry.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if err := st.RegisterReplica(registry.ReplicaInfo{ID: "fresh", Addr: "f:1"}); err != nil {
+		t.Fatalf("RegisterReplica: %v", err)
+	}
+
+	// Plant a stale record and a corrupt one directly, the way a crashed
+	// replica or an interrupted write would leave them.
+	stale, _ := json.Marshal(registry.ReplicaInfo{
+		ID: "stale", Addr: "s:1",
+		StartedAt: time.Now().Add(-time.Hour),
+		LastSeen:  time.Now().Add(-time.Hour),
+	})
+	repDir := filepath.Join(dir, "replicas")
+	if err := os.WriteFile(filepath.Join(repDir, "stale.json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(repDir, "corrupt.json"), []byte("{half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reps, err := st.Replicas(30 * time.Second)
+	if err != nil {
+		t.Fatalf("Replicas: %v", err)
+	}
+	if len(reps) != 1 || reps[0].ID != "fresh" {
+		t.Fatalf("fleet = %+v, want only the fresh replica", reps)
+	}
+	// A TTL wide enough to cover the stale heartbeat readmits it.
+	reps, _ = st.Replicas(2 * time.Hour)
+	if len(reps) != 2 {
+		t.Fatalf("wide-TTL fleet = %+v, want fresh + stale", reps)
+	}
+}
+
+// TestReplicaFileSanitized: IDs with path separators cannot escape the
+// replicas subdirectory, and such a replica still round-trips.
+func TestReplicaFileSanitized(t *testing.T) {
+	dir := t.TempDir()
+	st, err := registry.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	id := "host:8080/../../escape"
+	if err := st.RegisterReplica(registry.ReplicaInfo{ID: id, Addr: "h:8080"}); err != nil {
+		t.Fatalf("RegisterReplica: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "replicas"))
+	if err != nil {
+		t.Fatalf("replicas dir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].IsDir() {
+		t.Fatalf("replicas dir entries = %v, want one flat file", entries)
+	}
+	reps, _ := st.Replicas(0)
+	if len(reps) != 1 || reps[0].ID != id {
+		t.Fatalf("fleet = %+v, want the original ID preserved in the record", reps)
+	}
+	if err := st.DeregisterReplica(id); err != nil {
+		t.Fatalf("DeregisterReplica: %v", err)
+	}
+	if reps, _ = st.Replicas(0); len(reps) != 0 {
+		t.Fatalf("fleet after deregister = %+v, want empty", reps)
+	}
+}
+
+// TestReplicasDoNotPolluteArtifacts: the replicas subdirectory is invisible
+// to artifact listing.
+func TestReplicasDoNotPolluteArtifacts(t *testing.T) {
+	st := openFleetStore(t)
+	if err := st.RegisterReplica(registry.ReplicaInfo{ID: "r", Addr: "r:1"}); err != nil {
+		t.Fatalf("RegisterReplica: %v", err)
+	}
+	versions, err := st.Versions()
+	if err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	if len(versions) != 0 {
+		t.Fatalf("artifact versions = %v, want none after a replica registration", versions)
+	}
+}

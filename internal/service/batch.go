@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/plancache"
 )
@@ -54,8 +55,12 @@ type BatchResponse struct {
 	Errors    int `json:"errors"`
 	// Shed reports that the whole batch was admitted in load-shedding mode:
 	// every enumerated member carries the degraded beam's plan.
-	Shed    bool                `json:"shed,omitempty"`
-	TotalMs float64             `json:"totalMs"`
+	Shed    bool    `json:"shed,omitempty"`
+	TotalMs float64 `json:"totalMs"`
+	// TraceID names the batch's shared trace (every member is a child span
+	// of its root): the remote W3C trace ID when the caller sent a
+	// traceparent header, the batch request ID otherwise.
+	TraceID string              `json:"traceId,omitempty"`
 	Results []BatchMemberResult `json:"results"`
 }
 
@@ -117,13 +122,32 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 	// One admission unit: the batch holds one slot (its members share the
 	// enumeration worker pool internally), so a 64-member batch cannot
 	// monopolize 64 admission slots.
-	shed, release, ok := s.admit(ctx, w, batchID, start)
+	traceID, remoteSampled := traceContext(w, r)
+	shed, release, ok := s.admit(ctx, w, "batch", batchID, start)
 	if !ok {
 		return
 	}
 	if release != nil {
 		defer release()
 	}
+
+	// The whole batch is one trace: a "batch" root span with one "member"
+	// child span per plan, so the fan-out reads as a single tree. A
+	// propagated traceparent names the trace; its sampled flag forces
+	// retention, exactly like ?trace=1 on /optimize.
+	btid := batchID
+	if traceID != "" {
+		btid = traceID
+	}
+	btr := s.Tracer.Start(btid)
+	if btr == nil && remoteSampled {
+		btr = obs.NewTrace(btid)
+	}
+	if btr != nil && traceID != "" {
+		btr.RequestID = batchID
+	}
+	broot := btr.StartSpan(nil, "batch")
+	broot.SetInt("members", int64(len(breq.Plans)))
 
 	m := s.Metrics()
 	m.Counter("batch_requests_total").Inc()
@@ -162,6 +186,9 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 			nocache:  nocache,
 			shed:     shed,
 			fpDone:   true,
+			endpoint: "batch",
+			trace:    btr,
+			parent:   broot,
 		}
 		if useCache {
 			if fp, canon, fpErr := plancache.Compute(l, s.Platforms, s.Avail, s.PlanCache.BandsPerDecade()); fpErr == nil {
@@ -199,10 +226,14 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			i := idxs[k]
 			q := members[i].q
-			tr := s.Tracer.Start(q.id)
-			if out, hk := s.cachedOut(q, cp, q.canon, version, tr, "hit"); hk {
+			sp := btr.StartSpan(broot, "member")
+			sp.SetStr("requestId", q.id)
+			q.parent = sp
+			if out, hk := s.cachedOut(q, cp, q.canon, version, btr, "hit"); hk {
 				members[i].out = out
 			}
+			sp.End()
+			q.parent = broot
 		}
 	}
 
@@ -246,8 +277,13 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if lo := members[mb.leader].out; lo != nil && lo.err == nil && lo.cp != nil {
-			tr := s.Tracer.Start(mb.q.id)
-			if out, dk := s.cachedOut(mb.q, lo.cp, mb.q.canon, lo.resp.ModelVersion, tr, "dedup"); dk {
+			sp := btr.StartSpan(broot, "member")
+			sp.SetStr("requestId", mb.q.id)
+			mb.q.parent = sp
+			out, dk := s.cachedOut(mb.q, lo.cp, mb.q.canon, lo.resp.ModelVersion, btr, "dedup")
+			sp.End()
+			mb.q.parent = broot
+			if dk {
 				mb.out = out
 				deduped++
 				m.Counter("batch_dedup_total").Inc()
@@ -265,6 +301,7 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 		Shed:      shed,
 		Results:   make([]BatchMemberResult, len(members)),
 	}
+	degraded := 0
 	for i := range members {
 		out := members[i].out
 		if out == nil {
@@ -281,9 +318,28 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 		if out.cache == "hit" || out.cache == "collapsed" {
 			resp.CacheHits++
 		}
+		if out.resp.Degraded {
+			degraded++
+		}
 		r := out.resp
 		resp.Results[i] = BatchMemberResult{Plan: &r, Cache: out.cache}
 	}
 	resp.TotalMs = float64(time.Since(start).Microseconds()) / 1000
+	resp.TraceID = traceIDOf(btr)
+
+	// Close the shared trace once the whole fan-out is accounted for; a
+	// batch with any degraded member is notable, like a degraded single
+	// request.
+	broot.SetInt("distinct", int64(distinct))
+	broot.SetInt("deduped", int64(deduped))
+	broot.SetInt("cacheHits", int64(resp.CacheHits))
+	broot.SetInt("errors", int64(resp.Errors))
+	broot.SetInt("degraded", int64(degraded))
+	broot.End()
+	notable := ""
+	if degraded > 0 {
+		notable = "degraded"
+	}
+	s.Tracer.Finish(btr, remoteSampled, notable)
 	s.writeJSON(w, resp)
 }

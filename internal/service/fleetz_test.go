@@ -1,0 +1,134 @@
+package service_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// TestFleetz is the fleet-view acceptance test: two replicas share one
+// store, register themselves, and either one can answer GET /fleetz with
+// both replicas' readiness, model version and cache hit rate plus the
+// fleet-wide rollup.
+func TestFleetz(t *testing.T) {
+	width := testWidth(t)
+	dir := t.TempDir()
+	seed, err := registry.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if _, err := seed.Save(newArtifact(t, width, 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := seed.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+
+	srvA, tsA := newReplica(t, dir)
+	srvB, tsB := newReplica(t, dir)
+	srvA.ReplicaID, srvB.ReplicaID = "replica-a", "replica-b"
+	for _, r := range []struct {
+		s  *service.Server
+		ts string
+	}{{srvA, tsA.URL}, {srvB, tsB.URL}} {
+		info := registry.ReplicaInfo{ID: r.s.ReplicaID, Addr: strings.TrimPrefix(r.ts, "http://")}
+		if err := r.s.ModelStore.RegisterReplica(info); err != nil {
+			t.Fatalf("RegisterReplica(%s): %v", r.s.ReplicaID, err)
+		}
+	}
+
+	// Traffic on A only: one miss, one hit — visible in A's row, diluted in
+	// the rollup.
+	body := planJSON(t)
+	postPlan(t, tsA.URL+"/optimize", body)
+	postPlan(t, tsA.URL+"/optimize", body)
+
+	// Either replica can answer for the fleet; ask B about A.
+	var view fleet.View
+	getJSON(t, tsB.URL+"/fleetz", &view)
+	if view.Fleet.Replicas != 2 || view.Fleet.Ready != 2 || view.Fleet.Unreachable != 0 {
+		t.Fatalf("rollup = %+v, want 2 ready replicas", view.Fleet)
+	}
+	if n := view.Fleet.ModelVersions["v1"]; n != 2 {
+		t.Errorf("modelVersions[v1] = %d, want 2 (converged fleet)", n)
+	}
+	if len(view.Replicas) != 2 {
+		t.Fatalf("replica rows = %d, want 2", len(view.Replicas))
+	}
+	byID := map[string]fleet.ReplicaStatus{}
+	for _, st := range view.Replicas {
+		byID[st.ID] = st
+	}
+	a, okA := byID["replica-a"]
+	b, okB := byID["replica-b"]
+	if !okA || !okB {
+		t.Fatalf("rows = %+v, want replica-a and replica-b", view.Replicas)
+	}
+	for id, st := range byID {
+		if !st.Ready || st.ModelVersion != "v1" {
+			t.Errorf("%s: ready=%v version=%q, want ready v1", id, st.Ready, st.ModelVersion)
+		}
+	}
+	if a.CacheHits != 1 || a.CacheMisses != 1 || a.CacheHitRate != 0.5 {
+		t.Errorf("replica-a cache hits=%d misses=%d rate=%v, want 1/1/0.5",
+			a.CacheHits, a.CacheMisses, a.CacheHitRate)
+	}
+	if b.Requests != 0 {
+		t.Errorf("replica-b requests = %d, want 0 (no traffic sent)", b.Requests)
+	}
+	if view.Fleet.CacheHitRate != 0.5 {
+		t.Errorf("fleet cacheHitRate = %v, want the traffic-weighted 0.5", view.Fleet.CacheHitRate)
+	}
+
+	// Deregistration shrinks the fleet immediately.
+	if err := srvA.ModelStore.DeregisterReplica("replica-a"); err != nil {
+		t.Fatalf("DeregisterReplica: %v", err)
+	}
+	getJSON(t, tsB.URL+"/fleetz", &view)
+	if view.Fleet.Replicas != 1 || view.Replicas[0].ID != "replica-b" {
+		t.Fatalf("post-deregister view = %+v, want only replica-b", view.Fleet)
+	}
+}
+
+// TestFleetzNoStore: a storeless server has no fleet to report.
+func TestFleetzNoStore(t *testing.T) {
+	ts := newTestServer()
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/fleetz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("storeless /fleetz status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestFleetzBadTTL: ttl_s must be a positive integer.
+func TestFleetzBadTTL(t *testing.T) {
+	width := testWidth(t)
+	dir := t.TempDir()
+	seed, err := registry.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if _, err := seed.Save(newArtifact(t, width, 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := seed.Activate("v1"); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	_, ts := newReplica(t, dir)
+	resp, err := http.Get(ts.URL + "/fleetz?ttl_s=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ttl_s status = %d, want 400", resp.StatusCode)
+	}
+}

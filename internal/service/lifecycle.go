@@ -164,12 +164,28 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			"maxQueue":      a.maxQueue(),
 			"inFlight":      a.InFlight(),
 			"queueDepth":    a.QueueDepth(),
+			"shedThreshold": a.shedAt(),
 		}
+	}
+	if t := s.Tracer; t != nil {
+		out["tracer"] = map[string]any{
+			"cap":        t.Cap(),
+			"occupancy":  t.Occupancy(),
+			"retained":   t.Retained(),
+			"dropped":    t.Dropped(),
+			"sampleRate": t.SampleRate(),
+		}
+	}
+	if s.ReplicaID != "" {
+		out["replicaId"] = s.ReplicaID
 	}
 	_ = json.NewEncoder(w).Encode(out)
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	// SLO burn rates are point-in-time reads of the rolling windows, so
+	// they are recomputed per scrape rather than on the request path.
+	s.refreshSLOGauges()
 	// ?format=prometheus serves the same registry in the Prometheus text
 	// exposition format (version 0.0.4) so a standard scraper can ingest it.
 	if r.URL.Query().Get("format") == "prometheus" {

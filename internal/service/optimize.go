@@ -28,6 +28,19 @@ type optimizeReq struct {
 	simulate  bool
 	wantTrace bool
 	nocache   bool
+	// endpoint labels the serving metrics ("optimize" or "batch").
+	endpoint string
+	// traceID is the W3C trace ID propagated by the caller's traceparent
+	// header; empty means the request ID doubles as the trace ID.
+	traceID string
+	// remoteSampled mirrors the traceparent sampled flag: the caller asked
+	// for this trace to be kept, so retention is forced like ?trace=1.
+	remoteSampled bool
+	// trace/parent carry the shared batch trace and this member's parent
+	// span when the request is one member of a batch: the member records
+	// its spans into the batch's tree and must not finish the trace itself.
+	trace  *obs.Trace
+	parent *obs.Span
 	// shed admits the request in load-shedding mode: the enumeration starts
 	// already degraded (core.Budget.ForceDegraded) and serves the beam.
 	shed bool
@@ -83,12 +96,66 @@ func riskLambda(r *http.Request) (float64, error) {
 	return v, nil
 }
 
+// traceContext reads the request's W3C traceparent header. A malformed
+// header is ignored (the request gets a local trace ID); a valid one makes
+// the remote trace ID the serving trace's ID — retrievable later via
+// /tracez?id=<traceID> — and echoes the header on the response so the
+// caller sees its context was honored.
+func traceContext(w http.ResponseWriter, r *http.Request) (traceID string, sampled bool) {
+	tp, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		return "", false
+	}
+	w.Header().Set("traceparent", tp.String())
+	return tp.TraceID, tp.Sampled
+}
+
+// traceIDOf returns tr's ID, or "" for an untraced run.
+func traceIDOf(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.ID
+}
+
+// finishTrace closes one request unit's trace. Members of a shared batch
+// trace skip it — the batch handler finishes that trace exactly once, with
+// the whole fan-out recorded. Returns whether the trace entered the
+// retention ring, which gates exemplar exposure: only resolvable trace IDs
+// are attached to histogram buckets.
+func (s *Server) finishTrace(q *optimizeReq, tr *obs.Trace, notable string) bool {
+	if q.trace != nil {
+		return false
+	}
+	return s.Tracer.Finish(tr, q.wantTrace || q.remoteSampled, notable)
+}
+
+// countServing feeds one request unit's outcome into the labeled serving
+// metrics and the SLO tracker: serving_requests_total partitioned by
+// endpoint/outcome/cache disposition, serving_latency_ms by endpoint (with
+// the retained trace as the bucket's exemplar), and the SLO's good/bad
+// tally (shed responses are successes — degraded quality, not an error).
+func (s *Server) countServing(endpoint, outcome, cache string, latencyMs float64, exemplarTrace string) {
+	if cache == "" {
+		cache = "none"
+	}
+	m := s.Metrics()
+	m.CounterVec("serving_requests_total", "endpoint", "outcome", "cache").With(endpoint, outcome, cache).Inc()
+	m.HistogramVec("serving_latency_ms", "endpoint").With(endpoint).ObserveExemplar(latencyMs, exemplarTrace)
+	s.SLO.Record(latencyMs, outcome == "ok" || outcome == "shed")
+}
+
+// sinceMs is the elapsed wall-clock in milliseconds.
+func sinceMs(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
 // admit runs the admission layer for one request unit (a single request or
 // a whole batch). ok=false means the request was refused and the response
 // is already written; otherwise the caller must invoke release (when
 // non-nil) once the unit finishes, and shed tells it to serve the degraded
 // beam.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter, reqID string, start time.Time) (shed bool, release func(), ok bool) {
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, endpoint, reqID string, start time.Time) (shed bool, release func(), ok bool) {
 	if s.Admission == nil {
 		return false, nil, true
 	}
@@ -102,6 +169,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, reqID string,
 		err := errors.New("service: admission queue full, retry later")
 		s.fail(w, reqID, http.StatusTooManyRequests, err)
 		s.logOptimize(reqID, http.StatusTooManyRequests, start, "", false, err)
+		s.countServing(endpoint, "429", "", sinceMs(start), "")
 		return false, nil, false
 	case admitCanceled:
 		s.mu.Lock()
@@ -111,6 +179,7 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter, reqID string,
 		err := fmt.Errorf("service: request expired in the admission queue: %w", ctx.Err())
 		s.fail(w, reqID, http.StatusServiceUnavailable, err)
 		s.logOptimize(reqID, http.StatusServiceUnavailable, start, "", false, err)
+		s.countServing(endpoint, "503", "", sinceMs(start), "")
 		return false, nil, false
 	case admitShed:
 		return true, rel, true
@@ -157,7 +226,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	shed, release, ok := s.admit(ctx, w, reqID, start)
+	traceID, remoteSampled := traceContext(w, r)
+	shed, release, ok := s.admit(ctx, w, "optimize", reqID, start)
 	if !ok {
 		return
 	}
@@ -166,15 +236,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out := s.runOptimize(ctx, &optimizeReq{
-		id:        reqID,
-		l:         l,
-		start:     start,
-		deadline:  deadline,
-		lambda:    lambda,
-		simulate:  r.URL.Query().Get("simulate") == "1",
-		wantTrace: r.URL.Query().Get("trace") == "1",
-		nocache:   r.URL.Query().Get("nocache") == "1",
-		shed:      shed,
+		id:            reqID,
+		l:             l,
+		start:         start,
+		deadline:      deadline,
+		lambda:        lambda,
+		simulate:      r.URL.Query().Get("simulate") == "1",
+		wantTrace:     r.URL.Query().Get("trace") == "1",
+		nocache:       r.URL.Query().Get("nocache") == "1",
+		shed:          shed,
+		endpoint:      "optimize",
+		traceID:       traceID,
+		remoteSampled: remoteSampled,
 	})
 	if out.err != nil {
 		s.fail(w, reqID, out.status, out.err)
@@ -229,14 +302,35 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 		}
 	}
 
-	// The request ID doubles as the trace ID. A configured tracer records
-	// every request and decides retention at the end (tail-based sampling);
-	// ?trace=1 additionally forces retention and inlines the trace in the
-	// response. Without a tracer, ?trace=1 still gets a one-shot trace that
-	// lives only in this response.
-	tr := s.Tracer.Start(q.id)
-	if tr == nil && q.wantTrace {
-		tr = obs.NewTrace(q.id)
+	// The request ID doubles as the trace ID unless the caller propagated a
+	// W3C traceparent, in which case the remote trace ID names the trace
+	// (retrievable via /tracez?id=<remote id>) and RequestID keeps the local
+	// join key. A configured tracer records every request and decides
+	// retention at the end (tail-based sampling); ?trace=1 and a sampled
+	// traceparent additionally force retention. Without a tracer, ?trace=1
+	// still gets a one-shot trace that lives only in this response. Batch
+	// members record into the shared batch trace instead, each under its own
+	// "member" span.
+	var tr *obs.Trace
+	if q.trace != nil {
+		tr = q.trace
+		member := tr.StartSpan(q.parent, "member")
+		member.SetStr("requestId", q.id)
+		defer member.End()
+		q.parent = member
+		cctx.TraceParent = member
+	} else {
+		tid := q.id
+		if q.traceID != "" {
+			tid = q.traceID
+		}
+		tr = s.Tracer.Start(tid)
+		if tr == nil && (q.wantTrace || q.remoteSampled) {
+			tr = obs.NewTrace(tid)
+		}
+		if tr != nil && q.traceID != "" {
+			tr.RequestID = q.id
+		}
 	}
 	cctx.Trace = tr
 
@@ -247,8 +341,9 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 	if p == nil {
 		err := errors.New("service: no model configured")
 		tr.SetError(err.Error())
-		s.Tracer.Finish(tr, q.wantTrace, "")
+		s.finishTrace(q, tr, "")
 		s.logOptimize(q.id, http.StatusServiceUnavailable, q.start, "", false, err)
+		s.countServing(q.endpoint, "503", "", sinceMs(q.start), "")
 		return &optimizeOut{status: http.StatusServiceUnavailable, err: err}
 	}
 	snap := p.Get()
@@ -285,6 +380,7 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 				// Still a successful optimization: serve it, cache nothing.
 				return nil, nil
 			}
+			ncp.TraceID = traceIDOf(tr)
 			// Degraded plans are budget artifacts of one moment, not the
 			// enumeration optimum — never cache them.
 			if !lr.Degraded {
@@ -308,6 +404,7 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 		res, err = cctx.OptimizeProvider(ctx, snap)
 		if err == nil && useCache && canon != nil {
 			if ncp, cerr := plancache.FromResult(fp, canon, snap.Version(), res); cerr == nil {
+				ncp.TraceID = traceIDOf(tr)
 				leaderCP = ncp
 				if !res.Degraded {
 					s.PlanCache.Put(ncp)
@@ -317,7 +414,7 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 	}
 	if err != nil {
 		tr.SetError(err.Error())
-		s.Tracer.Finish(tr, q.wantTrace, "")
+		s.finishTrace(q, tr, "")
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.mu.Lock()
 			s.stats.DeadlineExceeded++
@@ -325,16 +422,18 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 			s.Metrics().Counter("deadline_exceeded_total").Inc()
 			err = fmt.Errorf("service: optimization exceeded its deadline of %v: %w", q.deadline, err)
 			s.logOptimize(q.id, http.StatusServiceUnavailable, q.start, snap.Version(), false, err)
+			s.countServing(q.endpoint, "503", "", sinceMs(q.start), "")
 			return &optimizeOut{status: http.StatusServiceUnavailable, err: err}
 		}
 		s.logOptimize(q.id, http.StatusUnprocessableEntity, q.start, snap.Version(), false, err)
+		s.countServing(q.endpoint, "422", "", sinceMs(q.start), "")
 		return &optimizeOut{status: http.StatusUnprocessableEntity, err: err}
 	}
 	notable := ""
 	if res.Degraded {
 		notable = "degraded"
 	}
-	s.Tracer.Finish(tr, q.wantTrace, notable)
+	retained := s.finishTrace(q, tr, notable)
 	resp := OptimizeResponse{
 		RequestID:           q.id,
 		ModelVersion:        snap.Version(),
@@ -361,6 +460,7 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 		},
 		StageMs:        res.Stats.Timings.Milliseconds(),
 		OptimizationMs: float64(time.Since(q.start).Microseconds()) / 1000,
+		TraceID:        traceIDOf(tr),
 	}
 	if q.wantTrace {
 		resp.Trace = res.Trace
@@ -405,9 +505,20 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 	}
 	s.mu.Unlock()
 	s.record(resp, res)
+	outcome := "ok"
 	if q.shed {
+		outcome = "shed"
 		s.Metrics().Counter("shed_total").Inc()
 	}
+	exemplar := ""
+	if retained {
+		exemplar = traceIDOf(tr)
+	}
+	cacheDisp := ""
+	if useCache {
+		cacheDisp = "miss"
+	}
+	s.countServing(q.endpoint, outcome, cacheDisp, resp.OptimizationMs, exemplar)
 	if s.Logger != nil {
 		s.Logger.Info("optimize",
 			"requestId", q.id,
@@ -442,14 +553,26 @@ func (s *Server) cachedOut(q *optimizeReq, cp *plancache.CachedPlan, canon *plan
 		return nil, false
 	}
 	// A cache hit is a one-span trace: the lookup is the whole story — no
-	// vectorize/enumerate/prune spans, because none of that ran.
-	sp := tr.StartSpan(nil, "cache")
+	// vectorize/enumerate/prune spans, because none of that ran. The trace
+	// links the run that produced the cached plan (when that run was
+	// traced), so the enumeration spans are one /tracez?id= away.
+	sp := tr.StartSpan(q.parent, "cache")
 	sp.SetStr("result", how)
 	sp.SetStr("fingerprint", cp.Fingerprint.Short())
 	sp.SetStr("modelVersion", cp.ModelVersion)
 	sp.SetFloat("age_ms", float64(time.Since(cp.CachedAt).Microseconds())/1000)
 	sp.End()
-	s.Tracer.Finish(tr, q.wantTrace, "")
+	if cp.TraceID != "" && cp.TraceID != traceIDOf(tr) {
+		linkReason := "cache-origin"
+		switch how {
+		case "collapsed":
+			linkReason = "singleflight-leader"
+		case "dedup":
+			linkReason = "batch-dedup-leader"
+		}
+		tr.AddLink(cp.TraceID, linkReason)
+	}
+	retained := s.finishTrace(q, tr, "")
 
 	resp := OptimizeResponse{
 		RequestID:           q.id,
@@ -463,6 +586,7 @@ func (s *Server) cachedOut(q *optimizeReq, cp *plancache.CachedPlan, canon *plan
 		RiskLambda:          cp.RiskLambda,
 		StageMs:             map[string]float64{},
 		OptimizationMs:      float64(time.Since(q.start).Microseconds()) / 1000,
+		TraceID:             traceIDOf(tr),
 	}
 	for _, p := range x.Assign {
 		resp.Assignments = append(resp.Assignments, p.String())
@@ -497,7 +621,13 @@ func (s *Server) cachedOut(q *optimizeReq, cp *plancache.CachedPlan, canon *plan
 	m := s.Metrics()
 	m.Counter("requests_total").Inc()
 	m.Counter("model_requests_" + resp.ModelVersion).Inc()
+	m.CounterVec("serving_model_requests_total", "version").With(resp.ModelVersion).Inc()
 	m.Histogram("optimize_ms").Observe(resp.OptimizationMs)
+	exemplar := ""
+	if retained {
+		exemplar = traceIDOf(tr)
+	}
+	s.countServing(q.endpoint, "ok", how, resp.OptimizationMs, exemplar)
 	if s.Logger != nil {
 		s.Logger.Info("optimize",
 			"requestId", q.id,
@@ -534,6 +664,7 @@ func (s *Server) record(resp OptimizeResponse, res *core.Result) {
 	m := s.Metrics()
 	m.Counter("requests_total").Inc()
 	m.Counter("model_requests_" + resp.ModelVersion).Inc()
+	m.CounterVec("serving_model_requests_total", "version").With(resp.ModelVersion).Inc()
 	if res.Degraded {
 		m.Counter("degraded_total").Inc()
 	}

@@ -45,7 +45,11 @@
 //   - GET /metricz — full metrics snapshot (see below);
 //     ?format=prometheus serves the Prometheus text exposition instead.
 //   - GET /tracez — recent retained traces, newest first; ?id= for one
-//     (see tracez.go).
+//     (see tracez.go). Accepts both request IDs and W3C trace IDs.
+//   - GET /sloz — rolling multi-window SLO burn rates when the server has
+//     an SLO configured (see sloz.go).
+//   - GET /fleetz — the merged fleet view scraped from every replica
+//     registered in the shared artifact store (see fleetz.go).
 //   - GET /modelz, POST /modelz/reload, POST /modelz/promote,
 //     POST /modelz/retrain, GET /modelz/feedback — the model lifecycle admin
 //     surface (see modelz.go).
@@ -55,7 +59,11 @@
 //     when the server opts in (roboptd -pprof).
 //
 // Every response carries an X-Request-Id header; errors are JSON bodies of
-// the form {"error": "...", "requestId": "..."}.
+// the form {"error": "...", "requestId": "..."}. The optimize endpoints
+// accept a W3C traceparent header: the client's trace ID names the
+// server-side span tree (retrievable at /tracez?id=<trace ID>), the
+// sampled flag forces retention like ?trace=1, and the header is echoed on
+// the response (see traceparent handling in optimize.go).
 //
 // # /metricz fields
 //
@@ -114,6 +122,17 @@
 // Servers with a configured Retrainer additionally expose the retrain_*
 // counters, the retrain_ms histogram and the feedback_buffer_len /
 // retrain_last_unix gauges documented in internal/registry.
+//
+// Labeled series (bounded cardinality; rendered into snapshot keys as
+// name{label="value",...} and as native labels in the Prometheus
+// exposition): serving_requests_total{endpoint,outcome,cache},
+// serving_latency_ms{endpoint} (whose exposition buckets carry
+// trace-exemplar annotations for retained traces) and
+// serving_model_requests_total{version}.
+//
+// Servers with a configured SLO additionally expose the slo_objective_ms,
+// slo_target and slo_breached gauges plus one slo_burn_rate_<window> gauge
+// per rolling window (see sloz.go), refreshed on every /metricz scrape.
 //
 // Histograms (each reported with count, sum, avg, p50/p90/p99 estimates and
 // cumulative power-of-two buckets):
@@ -229,6 +248,13 @@ type Server struct {
 	// ?nocache=1 bypasses the cache for one request. GET /cachez inspects
 	// it and POST /cachez/purge empties it (see cachez.go).
 	PlanCache *plancache.Cache
+	// SLO, when set, tracks the serving latency objective and its
+	// multi-window error-budget burn rate, exposed on GET /sloz and as
+	// slo_* gauges on /metricz. Nil disables SLO tracking.
+	SLO *obs.SLO
+	// ReplicaID names this replica in the fleet (roboptd -replica-id). It
+	// is reported by /fleetz and used as the shared-store registration key.
+	ReplicaID string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (roboptd
 	// -pprof). Off by default.
 	EnablePprof bool
@@ -339,6 +365,10 @@ type OptimizeResponse struct {
 	StageMs map[string]float64 `json:"stageMs"`
 	// OptimizationMs is the wall-clock optimization latency.
 	OptimizationMs float64 `json:"optimizationMs"`
+	// TraceID names the request's trace: the remote W3C trace ID when the
+	// caller sent a traceparent header, the request ID otherwise. Retained
+	// traces resolve via GET /tracez?id=<TraceID>. Empty on untraced runs.
+	TraceID string `json:"traceId,omitempty"`
 	// Trace inlines the run's span tree and pruning audit trail when the
 	// request asked for it with ?trace=1. Cache hits carry no audit trail
 	// — the enumeration never ran.
@@ -405,6 +435,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/modelz/retrain", s.handleModelzRetrain)
 	mux.HandleFunc("/modelz/feedback", s.handleModelzFeedback)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/sloz", s.handleSloz)
+	mux.HandleFunc("/fleetz", s.handleFleetz)
 	mux.HandleFunc("/cachez", s.handleCachez)
 	mux.HandleFunc("/cachez/purge", s.handleCachezPurge)
 	s.registerPprof(mux)

@@ -33,11 +33,13 @@ die()  { echo "FAIL: $*" >&2; exit 1; }
 jget() { python3 -c "import json,sys; d=json.load(open('$1')); print($2)"; }
 
 say "building binaries"
-go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd ./cmd/loadgen
+go build -o "$WORK" ./cmd/tdgen ./cmd/robopt ./cmd/roboptd ./cmd/loadgen ./cmd/obsctl
 
 say "checking -version output"
-"$WORK/robopt" -version | grep -q '^robopt ' || die "robopt -version"
-"$WORK/roboptd" -version | grep -q '^roboptd ' || die "roboptd -version"
+# Substitution (not a pipe): grep -q exiting early would SIGPIPE the binary
+# mid-output and trip pipefail.
+grep -q '^robopt ' <<<"$("$WORK/robopt" -version)" || die "robopt -version"
+grep -q '^roboptd ' <<<"$("$WORK/roboptd" -version)" || die "roboptd -version"
 
 say "generating training data (two draws, second appended)"
 "$WORK/tdgen" -templates 2 -plans 4 -profiles 4 -max-ops 12 -platforms 3 \
@@ -57,6 +59,7 @@ say "training two model artifacts"
 say "starting roboptd with the artifact store"
 "$WORK/roboptd" -addr "127.0.0.1:$PORT" -model "$WORK/artifact.json" \
   -model-dir "$WORK/store" -platforms 3 -feedback-cap 128 \
+  -replica-id smoke-a -fleet-heartbeat 1s \
   > "$WORK/roboptd.log" 2>&1 &
 DAEMON_PID=$!
 for i in $(seq 1 50); do
@@ -217,6 +220,7 @@ say "pprof stays off by default"
 say "starting replica B over the same model store"
 "$WORK/roboptd" -addr "127.0.0.1:$PORT_B" -model-dir "$WORK/store" \
   -platforms 3 -store-watch-interval 200ms \
+  -replica-id smoke-b -fleet-heartbeat 1s \
   > "$WORK/replica-b.log" 2>&1 &
 REPLICA_PID=$!
 for i in $(seq 1 50); do
@@ -264,9 +268,77 @@ curl -sf -XPOST --data-binary @"$WORK/batch.json" "$BASE_B/optimize/batch" > "$W
 [ "$(jget "$WORK/batchresp.json" "d['errors']")" = "0" ] \
   || die "batch members failed: $(cat "$WORK/batchresp.json")"
 
+say "traceparent propagates through /optimize into /tracez"
+TP_ID="0af7651916cd43dd8448eb211c80319c"
+curl -sf -D "$WORK/tp.h" -H "traceparent: 00-$TP_ID-00f067aa0ba902b7-01" \
+  -XPOST --data-binary @"$WORK/query.json" "$BASE/optimize?nocache=1" > "$WORK/tp.json"
+grep -qi "^traceparent: 00-$TP_ID-" "$WORK/tp.h" \
+  || die "response did not echo the traceparent header"
+[ "$(jget "$WORK/tp.json" "d['traceId']")" = "$TP_ID" ] \
+  || die "response traceId is not the propagated trace ID: $(cat "$WORK/tp.json")"
+curl -sf "$BASE/tracez?id=$TP_ID" > "$WORK/tp-trace.json"
+[ "$(jget "$WORK/tp-trace.json" "d['id']")" = "$TP_ID" ] \
+  || die "/tracez?id= did not resolve the remote trace ID"
+[ "$(jget "$WORK/tp-trace.json" "d['retained']")" = "forced" ] \
+  || die "sampled traceparent did not force retention"
+[ "$(jget "$WORK/tp-trace.json" "d['requestId'] != ''")" = "True" ] \
+  || die "remote trace lost its local requestId join key"
+
+say "one traceparent covers a whole batch as member child spans"
+TP_BATCH="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -sf -H "traceparent: 00-$TP_BATCH-00f067aa0ba902b7-01" \
+  -XPOST --data-binary @"$WORK/batch.json" "$BASE_B/optimize/batch" > "$WORK/tpb.json"
+[ "$(jget "$WORK/tpb.json" "d['traceId']")" = "$TP_BATCH" ] \
+  || die "batch response traceId is not the propagated trace ID"
+curl -sf "$BASE_B/tracez?id=$TP_BATCH" > "$WORK/tpb-trace.json"
+python3 - "$WORK/tpb-trace.json" <<'PY' || die "batch trace tree malformed"
+import json, sys
+snap = json.load(open(sys.argv[1]))
+spans = snap["spans"]
+roots = [s for s in spans if s["name"] == "batch"]
+assert len(roots) == 1, f"batch roots: {len(roots)}"
+members = [s for s in spans if s["name"] == "member"]
+assert len(members) == 2, f"member spans: {len(members)}"
+for m in members:
+    assert m["parent"] == roots[0]["id"], "member not under the batch root"
+PY
+
+say "checking /sloz burn-rate windows"
+curl -sf "$BASE/sloz" > "$WORK/sloz.json"
+[ "$(jget "$WORK/sloz.json" "d['enabled']")" = "True" ] \
+  || die "/sloz reports SLO tracking disabled"
+[ "$(jget "$WORK/sloz.json" "len(d['windows']) >= 2")" = "True" ] \
+  || die "/sloz reports fewer than 2 rolling windows"
+[ "$(jget "$WORK/sloz.json" "all(w['total'] > 0 for w in d['windows'])")" = "True" ] \
+  || die "/sloz windows saw no traffic"
+[ "$(jget "$WORK/sloz.json" "d['breached']")" = "False" ] \
+  || die "SLO breached during the smoke run: $(cat "$WORK/sloz.json")"
+
+say "both replicas appear in the merged /fleetz view"
+curl -sf "$BASE/fleetz" > "$WORK/fleetz.json"
+[ "$(jget "$WORK/fleetz.json" "d['fleet']['replicas']")" = "2" ] \
+  || die "/fleetz does not see both replicas: $(cat "$WORK/fleetz.json")"
+[ "$(jget "$WORK/fleetz.json" "d['fleet']['ready']")" = "2" ] \
+  || die "/fleetz reports unready replicas"
+[ "$(jget "$WORK/fleetz.json" "sorted(r['id'] for r in d['replicas'])")" = "['smoke-a', 'smoke-b']" ] \
+  || die "/fleetz replica IDs wrong: $(cat "$WORK/fleetz.json")"
+[ "$(jget "$WORK/fleetz.json" "all(r['modelVersion'] == 'v1' for r in d['replicas'])")" = "True" ] \
+  || die "/fleetz replicas not converged on v1"
+[ "$(jget "$WORK/fleetz.json" "any(r['cacheHits'] > 0 for r in d['replicas'])")" = "True" ] \
+  || die "/fleetz shows no cache traffic"
+
+say "obsctl renders the same fleet from the store"
+"$WORK/obsctl" -model-dir "$WORK/store" > "$WORK/obsctl.txt" \
+  || die "obsctl exited nonzero: $(cat "$WORK/obsctl.txt")"
+grep -q "smoke-a" "$WORK/obsctl.txt" && grep -q "smoke-b" "$WORK/obsctl.txt" \
+  || die "obsctl table missing a replica: $(cat "$WORK/obsctl.txt")"
+grep -q "2 replicas (2 ready" "$WORK/obsctl.txt" \
+  || die "obsctl fleet summary wrong: $(cat "$WORK/obsctl.txt")"
+
 say "sustained loadgen burst against both replicas ($LOADGEN_DURATION)"
 "$WORK/loadgen" -replicas "$BASE,$BASE_B" -rate 40 -duration "$LOADGEN_DURATION" \
-  -distinct 8 -out "$WORK/BENCH_serving.json" > "$WORK/loadgen.log" 2>&1 \
+  -distinct 8 -trace-force -slowest 3 -slo \
+  -out "$WORK/BENCH_serving.json" > "$WORK/loadgen.log" 2>&1 \
   || { cat "$WORK/loadgen.log" >&2; die "loadgen run failed"; }
 [ -s "$WORK/BENCH_serving.json" ] || die "loadgen wrote no BENCH_serving.json"
 [ "$(jget "$WORK/BENCH_serving.json" "d['ok'] > 0")" = "True" ] \
@@ -279,6 +351,27 @@ say "sustained loadgen burst against both replicas ($LOADGEN_DURATION)"
   || die "loadgen responses not labeled with the converged model version"
 [ "$(jget "$WORK/BENCH_serving.json" "sum(d['perReplica']) == d['sent'] - d['transportErrors']")" = "True" ] \
   || die "per-replica accounting does not reconcile"
+[ "$(jget "$WORK/BENCH_serving.json" "len(d['slowestRequests']) == 3")" = "True" ] \
+  || die "loadgen did not report the 3 slowest requests"
+[ "$(jget "$WORK/BENCH_serving.json" "all(len(s['traceId']) == 32 for s in d['slowestRequests'])")" = "True" ] \
+  || die "slowest requests carry no 32-hex trace IDs"
+grep -q "slo: http" "$WORK/loadgen.log" \
+  || die "loadgen -slo did not scrape /sloz"
+
+say "labeled serving metrics with exemplars in the prometheus exposition"
+curl -sf "$BASE/metricz?format=prometheus" > "$WORK/metricz2.prom"
+grep -Eq '^serving_requests_total\{endpoint="optimize",outcome="ok",cache="(hit|miss)"\} [0-9]+$' "$WORK/metricz2.prom" \
+  || die "exposition lacks labeled serving_requests_total series"
+grep -q '^serving_latency_ms_bucket{endpoint="optimize",le=' "$WORK/metricz2.prom" \
+  || die "exposition lacks labeled serving_latency_ms buckets"
+grep -q '# {trace_id="' "$WORK/metricz2.prom" \
+  || die "exposition carries no exemplars"
+# Every exposed exemplar must resolve against /tracez (retained traces only).
+EXEMPLAR_ID="$(grep -o 'trace_id="[0-9a-f]*"' "$WORK/metricz2.prom" | head -1 | cut -d'"' -f2)"
+curl -sf "$BASE/tracez?id=$EXEMPLAR_ID" >/dev/null \
+  || die "exemplar trace $EXEMPLAR_ID not resolvable via /tracez"
+grep -q '^slo_burn_rate_' "$WORK/metricz2.prom" \
+  || die "exposition lacks slo_burn_rate gauges"
 
 say "replica B drains cleanly"
 kill -TERM "$REPLICA_PID"

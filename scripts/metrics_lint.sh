@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — keep the code and the README metrics reference honest.
+#
+#   1. Every metric name registered in non-test Go code must appear in the
+#      README "Metrics reference" table. Dynamic families built by string
+#      concatenation ("stage_" + stage + "_ms") are registered under their
+#      prefix and must be documented as `prefix<placeholder>...`.
+#   2. Every metric in the table must still exist in code — stale docs fail.
+#   3. Label-cardinality bound: no CounterVec/HistogramVec may declare more
+#      than MAX_LABELS labels (each label multiplies series count).
+#
+# Run from anywhere; CI runs it as its own leg.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+README=README.md
+MAX_LABELS=3
+fail=0
+
+err() { echo "metrics-lint: $*" >&2; fail=1; }
+
+# --- code-side names -------------------------------------------------------
+# All registrations flow through Counter/Gauge/Histogram/CounterVec/
+# HistogramVec on the obs registry, or the admission layer's count() helper.
+# A trailing underscore marks a dynamic prefix family.
+code_names=$(grep -rlE '\.(Counter|Gauge|Histogram|CounterVec|HistogramVec|count)\("[a-z0-9_]+"' \
+    --include='*.go' internal cmd | grep -v '_test\.go' \
+  | xargs grep -hoE '\.(Counter|Gauge|Histogram|CounterVec|HistogramVec|count)\("[a-z0-9_]+"' \
+  | sed -E 's/^[^"]*"//; s/"$//' | sort -u)
+[ -n "$code_names" ] || { err "extracted no metric names from code"; exit 1; }
+
+# --- doc-side names --------------------------------------------------------
+# First column of the table between the metrics-reference markers.
+doc_table=$(awk '/<!-- metrics-reference:begin -->/,/<!-- metrics-reference:end -->/' "$README")
+[ -n "$doc_table" ] || { err "no metrics-reference block in $README"; exit 1; }
+doc_names=$(echo "$doc_table" | grep -oE '^\| `[a-z0-9_<>]+`' \
+  | sed -E 's/^\| `//; s/`$//' | sort -u)
+
+# --- 1: every code metric is documented ------------------------------------
+while read -r name; do
+  [ -n "$name" ] || continue
+  if [[ "$name" == *_ ]]; then
+    # dynamic prefix: documented as `name<placeholder>...`
+    grep -q "^${name}<" <<<"$doc_names" \
+      || err "dynamic metric family '${name}<...>' not in the README metrics reference"
+  else
+    grep -qx "$name" <<<"$doc_names" \
+      || err "metric '$name' registered in code but not in the README metrics reference"
+  fi
+done <<<"$code_names"
+
+# --- 2: every documented metric exists in code -----------------------------
+while read -r name; do
+  [ -n "$name" ] || continue
+  if [[ "$name" == *"<"* ]]; then
+    prefix="${name%%<*}"
+    grep -qx "$prefix" <<<"$code_names" \
+      || err "documented family '$name' has no '$prefix' registration in code"
+  else
+    grep -qx "$name" <<<"$code_names" \
+      || err "documented metric '$name' no longer registered in code"
+  fi
+done <<<"$doc_names"
+
+# --- 3: label-cardinality bound --------------------------------------------
+while IFS=: read -r file line decl; do
+  labels=$(echo "$decl" | grep -oE '"[a-z0-9_]+"' | tail -n +2 | wc -l)
+  metric=$(echo "$decl" | grep -oE '"[a-z0-9_]+"' | head -1 | tr -d '"')
+  if [ "$labels" -gt "$MAX_LABELS" ]; then
+    err "$file:$line: vec '$metric' declares $labels labels (max $MAX_LABELS)"
+  fi
+  if [ "$labels" -eq 0 ]; then
+    err "$file:$line: vec '$metric' declares no labels — use a plain metric"
+  fi
+done < <(grep -rnE '\.(CounterVec|HistogramVec)\("[a-z0-9_]+"(, *"[a-z0-9_]+")*\)' \
+    --include='*.go' internal cmd | grep -v '_test\.go' \
+  | sed -E 's/^([^:]+):([0-9]+):.*\.(CounterVec|HistogramVec)(\(("[a-z0-9_]+"(, *)?)+\)).*/\1:\2:\4/')
+
+if [ "$fail" = 0 ]; then
+  n_code=$(echo "$code_names" | wc -l)
+  n_doc=$(echo "$doc_names" | wc -l)
+  echo "metrics-lint: OK ($n_code code metrics, $n_doc documented, labels <= $MAX_LABELS)"
+fi
+exit "$fail"
