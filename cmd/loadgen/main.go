@@ -19,6 +19,15 @@
 // other shapes are structurally constant and cache-hot after one request
 // each per model version.
 //
+// With -peer-compare, the same workload runs twice against a peer-fill
+// fleet: once with the shared cache tier bypassed per request (?nopeer=1)
+// and once with it active, purging every replica's plan cache before each
+// phase so both start cold. The two phase summaries land side by side
+// under "peerCompare" in the output, and each phase tallies the X-Cache
+// disposition of every response — "peer" counts plans installed from
+// another replica's cache instead of re-enumerated. Both phases replay the
+// identical seeded request sequence, so the only variable is the tier.
+//
 // Every request carries a client-minted W3C traceparent (sampled when
 // -trace-force is set), so the -slowest report and the "slowestRequests"
 // section of the summary name trace IDs retrievable from the server via
@@ -66,6 +75,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for the plan mix and random plans")
 		traceForce  = flag.Bool("trace-force", false, "set the traceparent sampled flag, forcing the server to retain every request's trace")
 		slowestN    = flag.Int("slowest", 8, "how many of the slowest requests to report with their trace IDs (0 disables)")
+		peerCompare = flag.Bool("peer-compare", false, "run the workload twice — peer-fill bypassed (?nopeer=1) then active — purging caches before each phase, and report both summaries")
 		sloAssert   = flag.Bool("slo", false, "after the run, scrape each replica's /sloz and exit 1 if any reports an SLO breach")
 		sloLatency  = flag.Float64("slo-latency-ms", 0, "client-side SLO assertion: with -slo-target, exit 1 unless this fraction of sent requests completed OK within this latency")
 		sloTarget   = flag.Float64("slo-target", 0, "client-side SLO assertion target fraction (see -slo-latency-ms)")
@@ -94,13 +104,162 @@ func main() {
 	query := url(*deadlineMS, *riskLambda)
 
 	client := &http.Client{Timeout: *timeout}
+	cfg := runConfig{
+		replicas:    replicas,
+		rate:        *rate,
+		duration:    *duration,
+		bodies:      bodies,
+		query:       query,
+		maxInflight: *maxInflight,
+		seed:        *seed,
+		traceForce:  *traceForce,
+		slowestN:    *slowestN,
+		client:      client,
+	}
+	configSection := map[string]any{
+		"replicas":    replicas,
+		"rateRps":     *rate,
+		"durationMs":  duration.Milliseconds(),
+		"mix":         names,
+		"distinct":    *distinct,
+		"deadlineMs":  *deadlineMS,
+		"riskLambda":  *riskLambda,
+		"seed":        *seed,
+		"peerCompare": *peerCompare,
+	}
+
+	var summary map[string]any
+	var res runResult
+	failed := false
+	if *peerCompare {
+		// Same seed, same request sequence, cold cache both times: the only
+		// difference between the phases is whether a miss may be served by a
+		// peer instead of a local enumeration.
+		offCfg := cfg
+		offCfg.query = addParam(query, "nopeer=1")
+		purgeCaches(client, replicas)
+		log.Printf("peer-compare phase 1/2: peer-fill bypassed (?nopeer=1)")
+		off := run(offCfg)
+		purgeCaches(client, replicas)
+		log.Printf("peer-compare phase 2/2: peer-fill active")
+		on := run(cfg)
+		res = on
+		summary = map[string]any{
+			"config": configSection,
+			"peerCompare": map[string]any{
+				"off": off.summary,
+				"on":  on.summary,
+			},
+		}
+		log.Printf("peer-compare: enumerations %d -> %d, peer-served %d (%.0f%% of ok), p99 %.1fms -> %.1fms",
+			off.cache["miss"], on.cache["miss"], on.cache["peer"],
+			100*rate3(on.cache["peer"], on.ok),
+			percentile(off.latencies, 0.99), percentile(on.latencies, 0.99))
+		failed = off.ok == 0 || on.ok == 0
+	} else {
+		res = run(cfg)
+		summary = res.summary
+		summary["config"] = configSection
+		failed = res.ok == 0
+	}
+	if *sloAssert {
+		summary["sloz"] = scrapeSloz(client, replicas)
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("summary -> %s", *outPath)
+	for _, s := range res.slowest {
+		log.Printf("slow: %.1fms trace %s (%s/tracez?id=%s)%s",
+			s.Ms, s.TraceID, s.Replica, s.TraceID, cacheNote(s.Cache))
+	}
+
+	// SLO assertions: the server-side verdict comes from each replica's
+	// multi-window burn tracker via /sloz; the client-side one from this
+	// run's own latency observations (the peer-on phase under -peer-compare).
+	if *sloAssert {
+		for _, sz := range scrapeSloz(client, replicas) {
+			switch {
+			case sz.Err != "":
+				log.Printf("slo: %s unreachable: %s", sz.Replica, sz.Err)
+				failed = true
+			case !sz.Enabled:
+				log.Printf("slo: %s has no SLO configured (roboptd -slo-latency-ms)", sz.Replica)
+				failed = true
+			case sz.Breached:
+				log.Printf("slo: BREACH on %s (objective %.0fms target %.3f): %s",
+					sz.Replica, sz.ObjectiveMs, sz.Target, burnString(sz.Windows))
+				failed = true
+			default:
+				log.Printf("slo: %s ok: %s", sz.Replica, burnString(sz.Windows))
+			}
+		}
+	}
+	if *sloLatency > 0 && *sloTarget > 0 {
+		within := int64(0)
+		for _, ms := range res.latencies {
+			if ms <= *sloLatency {
+				within++
+			}
+		}
+		achieved := 0.0
+		if res.sent > 0 {
+			achieved = float64(within) / float64(res.sent)
+		}
+		if achieved < *sloTarget {
+			log.Printf("slo: CLIENT BREACH: %.4f of sent requests completed within %.0fms, target %.4f",
+				achieved, *sloLatency, *sloTarget)
+			failed = true
+		} else {
+			log.Printf("slo: client-side ok: %.4f within %.0fms (target %.4f)", achieved, *sloLatency, *sloTarget)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runConfig parameterizes one open-loop load phase.
+type runConfig struct {
+	replicas    []string
+	rate        float64
+	duration    time.Duration
+	bodies      [][]byte
+	query       string
+	maxInflight int
+	seed        int64
+	traceForce  bool
+	slowestN    int
+	client      *http.Client
+}
+
+// runResult carries one phase's summary plus the raw tallies the caller
+// needs for logging, comparison and SLO assertions.
+type runResult struct {
+	summary   map[string]any
+	latencies []float64
+	cache     map[string]int64
+	sent      int64
+	ok        int64
+	slowest   []slowRequest
+}
+
+// run offers the configured load and tallies the responses. Each call
+// reseeds from cfg.seed, so two runs with the same config replay the same
+// request sequence.
+func run(cfg runConfig) runResult {
 	var (
 		mu        sync.Mutex
 		latencies []float64
 		status    = map[int]int64{}
 		cache     = map[string]int64{}
 		versions  = map[string]int64{}
-		byReplica = make([]int64, len(replicas))
+		byReplica = make([]int64, len(cfg.replicas))
 		shed      int64
 		degraded  int64
 		transport int64
@@ -109,13 +268,13 @@ func main() {
 	var inflight atomic.Int64
 	var offered, skipped int64
 	var wg sync.WaitGroup
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 
 	log.Printf("offering %.0f req/s for %v across %d replica(s), %d plan shapes",
-		*rate, *duration, len(replicas), len(bodies))
-	interval := time.Duration(float64(time.Second) / *rate)
+		cfg.rate, cfg.duration, len(cfg.replicas), len(cfg.bodies))
+	interval := time.Duration(float64(time.Second) / cfg.rate)
 	ticker := time.NewTicker(interval)
-	stop := time.After(*duration)
+	stop := time.After(cfg.duration)
 	start := time.Now()
 
 loop:
@@ -125,26 +284,26 @@ loop:
 			break loop
 		case <-ticker.C:
 			offered++
-			if inflight.Load() >= int64(*maxInflight) {
+			if inflight.Load() >= int64(cfg.maxInflight) {
 				skipped++
 				continue
 			}
 			i := int(offered)
-			body := bodies[rng.Intn(len(bodies))]
-			target := replicas[i%len(replicas)]
+			body := cfg.bodies[rng.Intn(len(cfg.bodies))]
+			target := cfg.replicas[i%len(cfg.replicas)]
 			// Every request carries a W3C traceparent minted here, so any
 			// server-retained trace is addressable by an ID the client knows
 			// — the slowest-request report below links straight to
 			// /tracez?id=. (rng is only touched on this dispatch goroutine.)
 			traceID := fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
-			header := traceparent(traceID, rng.Uint64(), *traceForce)
+			header := traceparent(traceID, rng.Uint64(), cfg.traceForce)
 			inflight.Add(1)
 			wg.Add(1)
 			go func(replica int, target string, body []byte, traceID, header string) {
 				defer wg.Done()
 				defer inflight.Add(-1)
 				t0 := time.Now()
-				req, err := http.NewRequest(http.MethodPost, target+"/optimize"+query, bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, target+"/optimize"+cfg.query, bytes.NewReader(body))
 				if err != nil {
 					mu.Lock()
 					transport++
@@ -153,7 +312,7 @@ loop:
 				}
 				req.Header.Set("Content-Type", "application/json")
 				req.Header.Set("traceparent", header)
-				resp, err := client.Do(req)
+				resp, err := cfg.client.Do(req)
 				ms := float64(time.Since(t0).Microseconds()) / 1000
 				if err != nil {
 					mu.Lock()
@@ -185,8 +344,8 @@ loop:
 					if or.DegradeReason == "load-shed" {
 						shed++
 					}
-					if *slowestN > 0 {
-						slowest = recordSlowest(slowest, *slowestN, slowRequest{
+					if cfg.slowestN > 0 {
+						slowest = recordSlowest(slowest, cfg.slowestN, slowRequest{
 							Ms:      ms,
 							TraceID: traceID,
 							Replica: target,
@@ -195,7 +354,7 @@ loop:
 					}
 				}
 				mu.Unlock()
-			}(i%len(replicas), target, body, traceID, header)
+			}(i%len(cfg.replicas), target, body, traceID, header)
 		}
 	}
 	ticker.Stop()
@@ -213,16 +372,6 @@ loop:
 	}
 	sent := offered - skipped
 	summary := map[string]any{
-		"config": map[string]any{
-			"replicas":   replicas,
-			"rateRps":    *rate,
-			"durationMs": duration.Milliseconds(),
-			"mix":        names,
-			"distinct":   *distinct,
-			"deadlineMs": *deadlineMS,
-			"riskLambda": *riskLambda,
-			"seed":       *seed,
-		},
 		"offered":         offered,
 		"sent":            sent,
 		"skippedInflight": skipped,
@@ -237,8 +386,11 @@ loop:
 			"p99": percentile(latencies, 0.99),
 			"max": percentile(latencies, 1),
 		},
-		"cache":         cache,
-		"cacheHitRate":  rate3(cache["hit"]+cache["collapsed"], ok),
+		"cache":        cache,
+		"cacheHitRate": rate3(cache["hit"]+cache["collapsed"], ok),
+		// peerFillRate is the share of OK responses served from a peer's
+		// cache over the fleet-shared tier (X-Cache: peer).
+		"peerFillRate":  rate3(cache["peer"], ok),
 		"degraded":      degraded,
 		"degradedRate":  rate3(degraded, ok),
 		"shed":          shed,
@@ -247,74 +399,47 @@ loop:
 		"modelVersions": versions,
 		"perReplica":    byReplica,
 	}
-	if *slowestN > 0 {
+	if cfg.slowestN > 0 {
 		sort.Slice(slowest, func(i, j int) bool { return slowest[i].Ms > slowest[j].Ms })
 		summary["slowestRequests"] = slowest
 	}
-	if *sloAssert {
-		summary["sloz"] = scrapeSloz(client, replicas)
-	}
-	data, err := json.MarshalIndent(summary, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("done: %d ok / %d sent (%.1f req/s), p50 %.1fms p99 %.1fms, cache-hit %.0f%%, shed %d, 429 %d -> %s",
+	log.Printf("done: %d ok / %d sent (%.1f req/s), p50 %.1fms p99 %.1fms, cache-hit %.0f%%, peer %d, shed %d, 429 %d",
 		ok, sent, float64(ok)/elapsed.Seconds(),
 		percentile(latencies, 0.5), percentile(latencies, 0.99),
-		100*rate3(cache["hit"]+cache["collapsed"], ok), shed, rejected, *outPath)
-	for _, s := range slowest {
-		log.Printf("slow: %.1fms trace %s (%s/tracez?id=%s)%s",
-			s.Ms, s.TraceID, s.Replica, s.TraceID, cacheNote(s.Cache))
+		100*rate3(cache["hit"]+cache["collapsed"], ok), cache["peer"], shed, rejected)
+	return runResult{
+		summary:   summary,
+		latencies: latencies,
+		cache:     cache,
+		sent:      sent,
+		ok:        ok,
+		slowest:   slowest,
 	}
-	failed := ok == 0
+}
 
-	// SLO assertions: the server-side verdict comes from each replica's
-	// multi-window burn tracker via /sloz; the client-side one from this
-	// run's own latency observations.
-	if *sloAssert {
-		for _, sz := range scrapeSloz(client, replicas) {
-			switch {
-			case sz.Err != "":
-				log.Printf("slo: %s unreachable: %s", sz.Replica, sz.Err)
-				failed = true
-			case !sz.Enabled:
-				log.Printf("slo: %s has no SLO configured (roboptd -slo-latency-ms)", sz.Replica)
-				failed = true
-			case sz.Breached:
-				log.Printf("slo: BREACH on %s (objective %.0fms target %.3f): %s",
-					sz.Replica, sz.ObjectiveMs, sz.Target, burnString(sz.Windows))
-				failed = true
-			default:
-				log.Printf("slo: %s ok: %s", sz.Replica, burnString(sz.Windows))
-			}
+// purgeCaches empties every replica's plan cache so a compare phase starts
+// cold. A failed purge is reported, not fatal: a replica without a cache
+// answers 409 and contributes nothing to the comparison anyway.
+func purgeCaches(client *http.Client, replicas []string) {
+	for _, base := range replicas {
+		resp, err := client.Post(base+"/cachez/purge", "application/json", nil)
+		if err != nil {
+			log.Printf("purge %s: %v", base, err)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Printf("purge %s: status %d", base, resp.StatusCode)
 		}
 	}
-	if *sloLatency > 0 && *sloTarget > 0 {
-		within := int64(0)
-		for _, ms := range latencies {
-			if ms <= *sloLatency {
-				within++
-			}
-		}
-		achieved := 0.0
-		if sent > 0 {
-			achieved = float64(within) / float64(sent)
-		}
-		if achieved < *sloTarget {
-			log.Printf("slo: CLIENT BREACH: %.4f of sent requests completed within %.0fms, target %.4f",
-				achieved, *sloLatency, *sloTarget)
-			failed = true
-		} else {
-			log.Printf("slo: client-side ok: %.4f within %.0fms (target %.4f)", achieved, *sloLatency, *sloTarget)
-		}
+}
+
+// addParam appends one query parameter to an already-rendered query string.
+func addParam(query, param string) string {
+	if query == "" {
+		return "?" + param
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return query + "&" + param
 }
 
 // slowRequest is one of the run's slowest OK responses, with the trace ID

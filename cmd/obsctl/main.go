@@ -7,7 +7,8 @@
 //	obsctl -model-dir ./models -json | jq .fleet
 //
 // The table shows one row per replica (readiness, model version, traffic,
-// cache hit rate, shed rate, worst SLO burn) under a fleet summary line.
+// cache hit rate, peer-fill rate, shed rate, worst SLO burn) under a fleet
+// summary line.
 // Exit status 1 means at least one replica was unreachable or breaching its
 // SLO, so the command doubles as a coarse fleet health check in scripts.
 package main
@@ -74,19 +75,19 @@ func main() {
 
 func printView(v fleet.View) {
 	f := v.Fleet
-	fmt.Printf("fleet: %d replicas (%d ready, %d unreachable, %d breaching)  versions %s  hit %.1f%%  shed %.1f%%",
+	fmt.Printf("fleet: %d replicas (%d ready, %d unreachable, %d breaching)  versions %s  hit %.1f%%  peer %.1f%%  shed %.1f%%",
 		f.Replicas, f.Ready, f.Unreachable, f.Breached,
-		versionMix(f.ModelVersions), 100*f.CacheHitRate, 100*f.ShedRate)
+		versionMix(f.ModelVersions), 100*f.CacheHitRate, 100*f.PeerFillRate, 100*f.ShedRate)
 	if f.MaxBurnWindow != "" {
 		fmt.Printf("  worst burn %.2fx@%s", f.MaxBurnRate, f.MaxBurnWindow)
 	}
 	fmt.Printf("  (scraped %s)\n\n", v.ScrapedAt.Format(time.RFC3339))
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "REPLICA\tADDR\tREADY\tMODEL\tREQS\tHIT%\tSHED%\tQUEUE\tBURN\tNOTE")
+	fmt.Fprintln(w, "REPLICA\tADDR\tREADY\tMODEL\tREQS\tHIT%\tPEER%\tSHED%\tQUEUE\tBURN\tNOTE")
 	for _, st := range v.Replicas {
 		if st.Err != "" {
-			fmt.Fprintf(w, "%s\t%s\tdown\t-\t-\t-\t-\t-\t-\t%s\n", st.ID, st.Addr, st.Err)
+			fmt.Fprintf(w, "%s\t%s\tdown\t-\t-\t-\t-\t-\t-\t-\t%s\n", st.ID, st.Addr, st.Err)
 			continue
 		}
 		ready := "yes"
@@ -96,9 +97,9 @@ func printView(v fleet.View) {
 				ready = "no (" + st.ReadyReason + ")"
 			}
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%.1f\t%.1f\t%.0f\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%.1f\t%.1f\t%.1f\t%.0f\t%s\t%s\n",
 			st.ID, st.Addr, ready, st.ModelVersion, st.Requests,
-			100*st.CacheHitRate, 100*st.ShedRate, st.QueueDepth,
+			100*st.CacheHitRate, 100*st.PeerFillRate, 100*st.ShedRate, st.QueueDepth,
 			burnSummary(st), note(st))
 	}
 	w.Flush()

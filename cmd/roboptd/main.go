@@ -30,6 +30,15 @@
 // X-Cache header; ?nocache=1 bypasses the cache per request; GET /cachez
 // and POST /cachez/purge administer it.
 //
+// With -peer-fill (requires -model-dir and the cache), replicas sharing the
+// store form a fleet-shared cache tier: a local miss first consults up to
+// -peer-hedge live peers over GET /peercache (per-probe -peer-timeout,
+// circuit breakers, memoized negatives) and installs a peer's entry instead
+// of re-enumerating; responses served this way carry X-Cache: peer. Misses
+// that stay cold claim the fingerprint in the shared store so exactly one
+// replica fleet-wide enumerates while the others poll the claimant;
+// ?nopeer=1 bypasses the tier per request.
+//
 // # Running a replica fleet
 //
 // N roboptd processes pointed at one shared -model-dir behave as a
@@ -94,6 +103,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mlmodel"
 	"repro/internal/obs"
+	"repro/internal/peercache"
 	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/registry"
@@ -126,6 +136,9 @@ func main() {
 		cacheSize   = flag.Int("cache-entries", plancache.DefaultMaxEntries, "plan cache capacity in entries (0 disables the cache)")
 		cacheBytes  = flag.Int64("cache-bytes", plancache.DefaultMaxBytes, "plan cache capacity in accounted bytes")
 		cacheTTL    = flag.Duration("cache-ttl", 10*time.Minute, "plan cache entry time-to-live (0 = no expiry)")
+		peerFill    = flag.Bool("peer-fill", false, "on a local plan-cache miss, consult fleet peers over /peercache before enumerating (needs -model-dir and the cache)")
+		peerTimeout = flag.Duration("peer-timeout", peercache.DefaultTimeout, "per-peer probe timeout for peer-fill lookups")
+		peerHedge   = flag.Int("peer-hedge", peercache.DefaultHedge, "peers a cold lookup may consult concurrently (1 or 2)")
 		shutdownGr  = flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests after SIGINT/SIGTERM")
 		watchIntv   = flag.Duration("store-watch-interval", registry.DefaultWatchInterval, "poll -model-dir for promotions by other replicas at this period (0 = disabled)")
 		admitConc   = flag.Int("admit-concurrency", 0, "max concurrently optimizing request units (0 = 2x CPUs, negative = no admission control)")
@@ -349,29 +362,63 @@ func main() {
 		logger.Info("store watcher enabled", "dir", *modelDir, "interval", *watchIntv)
 	}
 
+	// scrapeAddr is the address other replicas reach this one at — the fleet
+	// registration record, and with -peer-fill also the owner address written
+	// into shared-store claim files so waiting replicas can poll us.
+	scrapeAddr := *advertise
+	if scrapeAddr == "" {
+		scrapeAddr = *addr
+	}
+	if strings.HasPrefix(scrapeAddr, ":") {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "localhost"
+		}
+		scrapeAddr = host + scrapeAddr
+	}
+
 	// Fleet registration: heartbeat this replica's scrape address into the
 	// shared store so GET /fleetz and obsctl discover it. The loop
 	// deregisters when rootCtx is cancelled, i.e. before the drain finishes,
 	// so a clean shutdown leaves no stale record behind.
 	var replicaDone <-chan struct{}
 	if store != nil && *fleetHB > 0 {
-		scrapeAddr := *advertise
-		if scrapeAddr == "" {
-			scrapeAddr = *addr
-		}
-		if strings.HasPrefix(scrapeAddr, ":") {
-			host, _ := os.Hostname()
-			if host == "" {
-				host = "localhost"
-			}
-			scrapeAddr = host + scrapeAddr
-		}
 		replicaDone, err = srv.RegisterReplicaLoop(rootCtx, scrapeAddr, *fleetHB)
 		if err != nil {
 			log.Fatal(err)
 		}
 		logger.Info("fleet registration enabled",
 			"replicaId", srv.ReplicaID, "addr", scrapeAddr, "heartbeat", *fleetHB)
+	}
+
+	// Peer-fill: turn the per-process plan cache into a fleet-shared tier.
+	// Peers are the other replicas registered in the shared store; the claim
+	// files that serialize cold enumerations fleet-wide live there too.
+	if *peerFill {
+		switch {
+		case store == nil:
+			log.Fatal("-peer-fill needs -model-dir (peers and claim files live in the shared store)")
+		case srv.PlanCache == nil:
+			log.Fatal("-peer-fill needs the plan cache (-cache-entries > 0)")
+		}
+		filler, err := peercache.New(peercache.Config{
+			SelfID:   srv.ReplicaID,
+			SelfAddr: scrapeAddr,
+			Peers: func() ([]registry.ReplicaInfo, error) {
+				return store.Replicas(registry.DefaultReplicaTTL)
+			},
+			Timeout: *peerTimeout,
+			Hedge:   *peerHedge,
+			Metrics: srv.Metrics(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.PlanCache.SetRemoteFiller(filler)
+		srv.PeerFill = filler
+		srv.AdvertiseAddr = scrapeAddr
+		logger.Info("peer-fill enabled",
+			"timeout", *peerTimeout, "hedge", *peerHedge, "addr", scrapeAddr)
 	}
 
 	// The write timeout leaves headroom over the optimization deadline so a

@@ -42,6 +42,11 @@ type ReplicaStatus struct {
 	CacheHits    int64   `json:"cacheHits"`
 	CacheMisses  int64   `json:"cacheMisses"`
 	CacheHitRate float64 `json:"cacheHitRate"`
+	// PeerFills counts local misses this replica served from a peer's
+	// cache over the fleet-shared tier; PeerFillRate is that count over
+	// all cache lookups (hits + misses).
+	PeerFills    int64   `json:"peerFills"`
+	PeerFillRate float64 `json:"peerFillRate"`
 	QueueDepth   float64 `json:"queueDepth"`
 	Shed         int64   `json:"shed"`
 	ShedRate     float64 `json:"shedRate"`
@@ -97,8 +102,10 @@ func ScrapeReplica(ctx context.Context, client *http.Client, info registry.Repli
 	st.Failures = mz.Counters["failures_total"]
 	st.CacheHits = mz.Counters["plan_cache_hits_total"]
 	st.CacheMisses = mz.Counters["plan_cache_misses_total"]
+	st.PeerFills = mz.Counters["plan_cache_peer_fills_total"]
 	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(looked)
+		st.PeerFillRate = float64(st.PeerFills) / float64(looked)
 	}
 	st.Shed = mz.Counters["shed_total"]
 	if st.Requests > 0 {
@@ -147,7 +154,10 @@ type Rollup struct {
 	Requests      int64          `json:"requests"`
 	Failures      int64          `json:"failures"`
 	CacheHitRate  float64        `json:"cacheHitRate"`
-	ShedRate      float64        `json:"shedRate"`
+	// PeerFillRate is the traffic-weighted share of cache lookups served
+	// from a peer's cache over the fleet-shared tier.
+	PeerFillRate float64 `json:"peerFillRate"`
+	ShedRate     float64 `json:"shedRate"`
 	// MaxBurnRate is the worst per-window burn rate anywhere in the fleet
 	// (window name in MaxBurnWindow); Breached counts replicas whose own
 	// multi-window verdict fired.
@@ -160,7 +170,7 @@ type Rollup struct {
 // traffic (summed numerators over summed denominators), not by replica.
 func Aggregate(statuses []ReplicaStatus) Rollup {
 	r := Rollup{Replicas: len(statuses), ModelVersions: map[string]int{}}
-	var hits, looked, shed int64
+	var hits, looked, peer, shed int64
 	for _, st := range statuses {
 		if st.Err != "" {
 			r.Unreachable++
@@ -176,6 +186,7 @@ func Aggregate(statuses []ReplicaStatus) Rollup {
 		r.Failures += st.Failures
 		hits += st.CacheHits
 		looked += st.CacheHits + st.CacheMisses
+		peer += st.PeerFills
 		shed += st.Shed
 		if st.Breached {
 			r.Breached++
@@ -188,6 +199,7 @@ func Aggregate(statuses []ReplicaStatus) Rollup {
 	}
 	if looked > 0 {
 		r.CacheHitRate = float64(hits) / float64(looked)
+		r.PeerFillRate = float64(peer) / float64(looked)
 	}
 	if r.Requests > 0 {
 		r.ShedRate = float64(shed) / float64(r.Requests)

@@ -1,0 +1,336 @@
+package peercache
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plancache"
+	"repro/internal/registry"
+)
+
+// testPlan fabricates a servable cached plan.
+func testPlan(b byte, version string) *plancache.CachedPlan {
+	var fp plancache.Fingerprint
+	fp[0] = b
+	return &plancache.CachedPlan{
+		Fingerprint:  fp,
+		ModelVersion: version,
+		Predicted:    float64(b),
+		PredictedDist: core.CostDist{
+			Mean: float64(b), Spread: 0.5, Lo: float64(b) - 1, Hi: float64(b) + 1,
+		},
+		CachedAt:    time.Now(),
+		AssignCanon: []uint8{0, 1, 2},
+		VectorF:     []float64{1, 2, 3},
+		TraceID:     "trace-origin",
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	cp := testPlan(7, "v3")
+	cp.RiskLambda = 0.5
+	e := FromCached(cp, "replica-a")
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// The assignment must travel as a JSON int array, not base64.
+	if !strings.Contains(string(data), `"assignCanon":[0,1,2]`) {
+		t.Fatalf("assignment not an int array on the wire: %s", data)
+	}
+	var back Entry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got, err := back.ToCached()
+	if err != nil {
+		t.Fatalf("ToCached: %v", err)
+	}
+	if got.Fingerprint != cp.Fingerprint || got.ModelVersion != cp.ModelVersion ||
+		got.Predicted != cp.Predicted || got.RiskLambda != cp.RiskLambda ||
+		got.PredictedDist != cp.PredictedDist || got.TraceID != cp.TraceID {
+		t.Fatalf("round trip lost data: %+v vs %+v", got, cp)
+	}
+	if len(got.AssignCanon) != 3 || got.AssignCanon[2] != 2 {
+		t.Fatalf("assignment corrupted: %v", got.AssignCanon)
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	bad := []Entry{
+		{Fingerprint: "zz", ModelVersion: "v1", AssignCanon: []int{0}},
+		{Fingerprint: testPlan(1, "v1").Fingerprint.String(), AssignCanon: []int{0}},
+		{Fingerprint: testPlan(1, "v1").Fingerprint.String(), ModelVersion: "v1"},
+		{Fingerprint: testPlan(1, "v1").Fingerprint.String(), ModelVersion: "v1", AssignCanon: []int{300}},
+	}
+	for i, e := range bad {
+		if _, err := e.ToCached(); err == nil {
+			t.Errorf("bad entry %d accepted: %+v", i, e)
+		}
+	}
+}
+
+// peerServer runs a scripted /peercache peer and returns its host:port.
+func peerServer(t *testing.T, handler http.HandlerFunc) string {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// serveEntry answers every lookup with cp under the requested key.
+func serveEntry(cp *plancache.CachedPlan, replica string, hits *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(FromCached(cp, replica))
+	}
+}
+
+func serve404(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, `{"error":"miss"}`, http.StatusNotFound)
+}
+
+func newFiller(t *testing.T, cfg Config) *Filler {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func staticPeers(addrs ...string) func() ([]registry.ReplicaInfo, error) {
+	infos := make([]registry.ReplicaInfo, len(addrs))
+	for i, a := range addrs {
+		infos[i] = registry.ReplicaInfo{ID: "peer" + a, Addr: a}
+	}
+	return func() ([]registry.ReplicaInfo, error) { return infos, nil }
+}
+
+func TestFillHit(t *testing.T) {
+	cp := testPlan(3, "v1")
+	addr := peerServer(t, serveEntry(cp, "peer-a", nil))
+	f := newFiller(t, Config{Peers: staticPeers(addr)})
+
+	got, err := f.Fill(context.Background(), cp.Fingerprint, "v1", "")
+	if err != nil || got == nil {
+		t.Fatalf("Fill = (%v, %v), want a hit", got, err)
+	}
+	if got.Fingerprint != cp.Fingerprint || got.ModelVersion != "v1" {
+		t.Fatalf("Fill returned the wrong entry: %+v", got)
+	}
+	if s := f.Snapshot(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v, want one hit", s)
+	}
+}
+
+// TestFillNoPeers: a fleet of one is a clean miss without memoization —
+// peers may register at any moment.
+func TestFillNoPeers(t *testing.T) {
+	f := newFiller(t, Config{
+		SelfID:   "me",
+		SelfAddr: "me:1",
+		Peers:    staticPeers(), // empty fleet
+	})
+	var fp plancache.Fingerprint
+	if cp, err := f.Fill(context.Background(), fp, "v1", ""); err != nil || cp != nil {
+		t.Fatalf("Fill = (%v, %v), want clean miss", cp, err)
+	}
+	if s := f.Snapshot(); s.Misses != 1 || s.NegCached != 0 {
+		t.Fatalf("stats = %+v, want one unmemoized miss", s)
+	}
+}
+
+// TestFillSkipsSelf: a replica never probes its own registration, matched
+// by ID or by address.
+func TestFillSkipsSelf(t *testing.T) {
+	var self atomic.Int64
+	selfAddr := peerServer(t, serveEntry(testPlan(1, "v1"), "self", &self))
+	f := newFiller(t, Config{
+		SelfID:   "self",
+		SelfAddr: selfAddr,
+		Peers:    staticPeers(selfAddr),
+	})
+	var fp plancache.Fingerprint
+	if cp, err := f.Fill(context.Background(), fp, "v1", ""); err != nil || cp != nil {
+		t.Fatalf("Fill = (%v, %v), want a miss (only peer is self)", cp, err)
+	}
+	if self.Load() != 0 {
+		t.Fatalf("replica probed itself %d times", self.Load())
+	}
+}
+
+// TestFillHedgesToSecondPeer: when the first-choice peer stalls past the
+// hedge delay, the lookup consults a second peer and wins from it.
+func TestFillHedgesToSecondPeer(t *testing.T) {
+	cp := testPlan(5, "v1")
+	block := make(chan struct{})
+	defer close(block)
+	slow := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+		serve404(w, r)
+	})
+	fast := peerServer(t, serveEntry(cp, "fast", nil))
+
+	f := newFiller(t, Config{
+		Peers:      staticPeers(slow, fast),
+		Timeout:    2 * time.Second,
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	// Round-robin starts at the first peer on the first call.
+	start := time.Now()
+	got, err := f.Fill(context.Background(), cp.Fingerprint, "v1", "")
+	if err != nil || got == nil {
+		t.Fatalf("Fill = (%v, %v), want the hedged hit", got, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged lookup took %v — it waited out the slow peer", elapsed)
+	}
+}
+
+// TestFillMissMemoized: a clean fleet-wide miss is remembered, so the next
+// equal-key lookup answers without touching the network.
+func TestFillMissMemoized(t *testing.T) {
+	var probes atomic.Int64
+	addr := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		serve404(w, r)
+	})
+	f := newFiller(t, Config{Peers: staticPeers(addr), Hedge: 1, NegTTL: time.Minute})
+	var fp plancache.Fingerprint
+	fp[0] = 8
+
+	for i := 0; i < 3; i++ {
+		if cp, err := f.Fill(context.Background(), fp, "v1", ""); err != nil || cp != nil {
+			t.Fatalf("Fill %d = (%v, %v), want miss", i, cp, err)
+		}
+	}
+	if probes.Load() != 1 {
+		t.Fatalf("peer probed %d times, want 1 (miss memoized)", probes.Load())
+	}
+	if s := f.Snapshot(); s.Misses != 3 || s.NegCached != 1 {
+		t.Fatalf("stats = %+v, want 3 misses, 1 memo", s)
+	}
+	// A different band is a different key: it probes.
+	if _, err := f.Fill(context.Background(), fp, "v1", "b1"); err != nil {
+		t.Fatalf("banded Fill: %v", err)
+	}
+	if probes.Load() != 2 {
+		t.Fatalf("banded lookup reused the memo: %d probes", probes.Load())
+	}
+	// Forget drops the memo.
+	f.Forget(fp, "v1", "")
+	if _, err := f.Fill(context.Background(), fp, "v1", ""); err != nil {
+		t.Fatalf("post-Forget Fill: %v", err)
+	}
+	if probes.Load() != 3 {
+		t.Fatalf("Forget did not drop the memo: %d probes", probes.Load())
+	}
+}
+
+// TestBreakerOpensAndCloses: consecutive failures take a peer out of
+// rotation for the cooldown; it rejoins afterwards.
+func TestBreakerOpensAndCloses(t *testing.T) {
+	var probes atomic.Int64
+	bad := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	f := newFiller(t, Config{
+		Peers:            staticPeers(bad),
+		Hedge:            1,
+		NegTTL:           -1, // misses must not mask the breaker behavior
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	var fp plancache.Fingerprint
+
+	// Two failing lookups open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Fill(context.Background(), fp, "v1", ""); err == nil {
+			t.Fatalf("Fill %d succeeded against a broken peer", i)
+		}
+	}
+	if s := f.Snapshot(); s.OpenBreakers != 1 || s.Errors != 2 {
+		t.Fatalf("stats = %+v, want open breaker after 2 errors", s)
+	}
+	// While open, the peer is skipped entirely: a lookup is a clean miss
+	// with no new probe.
+	before := probes.Load()
+	if cp, err := f.Fill(context.Background(), fp, "v1", ""); err != nil || cp != nil {
+		t.Fatalf("Fill with open breaker = (%v, %v), want miss", cp, err)
+	}
+	if probes.Load() != before {
+		t.Fatal("open breaker did not keep the peer out of rotation")
+	}
+	// After the cooldown the peer rejoins rotation.
+	time.Sleep(60 * time.Millisecond)
+	f.Fill(context.Background(), fp, "v1", "")
+	if probes.Load() != before+1 {
+		t.Fatalf("peer not retried after cooldown: %d probes, want %d", probes.Load(), before+1)
+	}
+}
+
+// TestFillTimeoutClassified: a peer that answers slower than the probe
+// timeout counts as a timeout, not a generic error.
+func TestFillTimeoutClassified(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	hang := peerServer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	})
+	f := newFiller(t, Config{
+		Peers:   staticPeers(hang),
+		Hedge:   1,
+		Timeout: 20 * time.Millisecond,
+	})
+	var fp plancache.Fingerprint
+	if _, err := f.Fill(context.Background(), fp, "v1", ""); err == nil {
+		t.Fatal("Fill succeeded against a hung peer")
+	}
+	if s := f.Snapshot(); s.Timeouts != 1 || s.Errors != 0 {
+		t.Fatalf("stats = %+v, want the failure classified as a timeout", s)
+	}
+}
+
+func TestFetchFrom(t *testing.T) {
+	cp := testPlan(9, "v1")
+	addr := peerServer(t, serveEntry(cp, "holder", nil))
+	missAddr := peerServer(t, http.HandlerFunc(serve404))
+	f := newFiller(t, Config{Peers: staticPeers()})
+
+	got, err := f.FetchFrom(context.Background(), addr, cp.Fingerprint, "v1", "")
+	if err != nil || got == nil || got.Fingerprint != cp.Fingerprint {
+		t.Fatalf("FetchFrom = (%v, %v), want the entry", got, err)
+	}
+	// A 404 from the explicit holder is (nil, nil): not done yet.
+	if got, err := f.FetchFrom(context.Background(), missAddr, cp.Fingerprint, "v1", ""); err != nil || got != nil {
+		t.Fatalf("FetchFrom miss = (%v, %v), want (nil, nil)", got, err)
+	}
+	// An unreachable holder is an error.
+	if _, err := f.FetchFrom(context.Background(), "127.0.0.1:1", cp.Fingerprint, "v1", ""); err == nil {
+		t.Fatal("FetchFrom against a dead address succeeded")
+	}
+}
+
+func TestNewRequiresPeers(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without Peers")
+	}
+}

@@ -1,0 +1,111 @@
+package peercache
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plancache"
+)
+
+// Entry is the /peercache wire format: one cached plan, self-describing
+// enough for the requester to validate the key it asked for and install
+// the entry in its own cache. The canonical-order platform assignment
+// travels as an int slice (a []uint8 would JSON-encode as base64, which
+// no other endpoint in this codebase does), and the enumeration counters
+// of the originating run are deliberately omitted — a peer-filled hit
+// reports zero enumeration work of its own, exactly like a local hit.
+type Entry struct {
+	// Fingerprint is the 64-hex canonical plan fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// ModelVersion is the artifact version that produced the plan.
+	ModelVersion string `json:"modelVersion"`
+	// Predicted is the plan's selection score (λ-adjusted on risk runs).
+	Predicted float64 `json:"predicted"`
+	// RiskLambda is the risk-aversion weight the plan was optimized under.
+	RiskLambda float64 `json:"riskLambda,omitempty"`
+	// Dist is the model's predictive distribution for the plan.
+	Dist core.CostDist `json:"dist"`
+	// CachedAt is the origin insertion timestamp; the receiver keeps it so
+	// the entry ages (and TTL-expires) consistently across the fleet.
+	CachedAt time.Time `json:"cachedAt"`
+	// AssignCanon maps canonical operator index to platform column.
+	AssignCanon []int `json:"assignCanon"`
+	// VectorF is the plan's feature vector (feedback on later hits).
+	VectorF []float64 `json:"vectorF,omitempty"`
+	// TraceID names the origin enumeration's trace, when retained; the
+	// requester links it as "peer-fill" so a remote hit's span tree
+	// resolves to the enumeration that actually produced the plan.
+	TraceID string `json:"traceId,omitempty"`
+	// Replica is the answering replica's ID (diagnostics only).
+	Replica string `json:"replica,omitempty"`
+}
+
+// ParseFingerprint decodes a 64-hex fingerprint string.
+func ParseFingerprint(s string) (plancache.Fingerprint, error) {
+	var fp plancache.Fingerprint
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(fp) {
+		return fp, fmt.Errorf("peercache: bad fingerprint %q", s)
+	}
+	copy(fp[:], raw)
+	return fp, nil
+}
+
+// FromCached renders a local cache entry onto the wire.
+func FromCached(cp *plancache.CachedPlan, replica string) *Entry {
+	e := &Entry{
+		Fingerprint:  cp.Fingerprint.String(),
+		ModelVersion: cp.ModelVersion,
+		Predicted:    cp.Predicted,
+		RiskLambda:   cp.RiskLambda,
+		Dist:         cp.PredictedDist,
+		CachedAt:     cp.CachedAt,
+		AssignCanon:  make([]int, len(cp.AssignCanon)),
+		VectorF:      cp.VectorF,
+		TraceID:      cp.TraceID,
+		Replica:      replica,
+	}
+	for i, col := range cp.AssignCanon {
+		e.AssignCanon[i] = int(col)
+	}
+	return e
+}
+
+// ToCached validates the wire entry and converts it into an installable
+// cache entry. The caller (Cache.FillRemote) separately enforces that the
+// entry matches the key it asked for.
+func (e *Entry) ToCached() (*plancache.CachedPlan, error) {
+	fp, err := ParseFingerprint(e.Fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	if e.ModelVersion == "" {
+		return nil, fmt.Errorf("peercache: entry without a model version")
+	}
+	if len(e.AssignCanon) == 0 {
+		return nil, fmt.Errorf("peercache: entry without an assignment")
+	}
+	cp := &plancache.CachedPlan{
+		Fingerprint:   fp,
+		ModelVersion:  e.ModelVersion,
+		Predicted:     e.Predicted,
+		RiskLambda:    e.RiskLambda,
+		PredictedDist: e.Dist,
+		CachedAt:      e.CachedAt,
+		AssignCanon:   make([]uint8, len(e.AssignCanon)),
+		VectorF:       e.VectorF,
+		TraceID:       e.TraceID,
+	}
+	if cp.CachedAt.IsZero() {
+		cp.CachedAt = time.Now()
+	}
+	for i, col := range e.AssignCanon {
+		if col < 0 || col > 255 {
+			return nil, fmt.Errorf("peercache: assignment column %d out of range", col)
+		}
+		cp.AssignCanon[i] = uint8(col)
+	}
+	return cp, nil
+}

@@ -200,11 +200,14 @@ type Cache struct {
 	invalidated   atomic.Int64
 	inserts       atomic.Int64
 	dropped       atomic.Int64
+	peerFills     atomic.Int64
+	remote        atomic.Pointer[remoteHolder]
 	metricsHits   *obs.Counter
 	metricsMisses *obs.Counter
 	metricsEvict  *obs.Counter
 	metricsColl   *obs.Counter
 	metricsInval  *obs.Counter
+	metricsPeer   *obs.Counter
 	metricsAge    *obs.Histogram
 }
 
@@ -247,6 +250,7 @@ func New(cfg Config) *Cache {
 		c.metricsEvict = m.Counter("plan_cache_evictions_total")
 		c.metricsColl = m.Counter("plan_cache_collapsed_total")
 		c.metricsInval = m.Counter("plan_cache_invalidations_total")
+		c.metricsPeer = m.Counter("plan_cache_peer_fills_total")
 		c.metricsAge = m.Histogram("plan_cache_age_ms")
 	}
 	return c
@@ -553,6 +557,7 @@ type Stats struct {
 	Invalidated   int64   `json:"invalidated"`
 	Inserts       int64   `json:"inserts"`
 	Dropped       int64   `json:"dropped"`
+	PeerFills     int64   `json:"peerFills"`
 }
 
 // Snapshot returns the cache's current statistics.
@@ -574,5 +579,6 @@ func (c *Cache) Snapshot() Stats {
 		Invalidated:   c.invalidated.Load(),
 		Inserts:       c.inserts.Load(),
 		Dropped:       c.dropped.Load(),
+		PeerFills:     c.peerFills.Load(),
 	}
 }

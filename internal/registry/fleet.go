@@ -93,6 +93,9 @@ func (s *Store) RegisterReplica(info ReplicaInfo) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("registry: replica registration: %w", err)
 	}
+	// A local write must be visible to this handle's next Replicas call
+	// even inside the cache window.
+	s.repValid = false
 	return nil
 }
 
@@ -105,42 +108,88 @@ func (s *Store) DeregisterReplica(id string) error {
 	if err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("registry: replica deregistration: %w", err)
 	}
+	s.repValid = false
 	return nil
 }
 
-// Replicas lists the registered replicas whose last heartbeat is within
-// ttl (DefaultReplicaTTL when ttl <= 0), sorted by ID. A store without a
-// replicas directory reports an empty fleet.
-func (s *Store) Replicas(ttl time.Duration) ([]ReplicaInfo, error) {
-	if ttl <= 0 {
-		ttl = DefaultReplicaTTL
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// replicaMtimeSlack is the filesystem-timestamp granularity guard: an
+// unchanged directory mtime is only trusted when the cached scan postdates
+// that mtime by at least this much, so a registration racing the scan
+// inside one coarse mtime tick forces a rescan instead of going unseen.
+const replicaMtimeSlack = 10 * time.Millisecond
+
+// replicasRawLocked returns the parsed registration records. The parsed
+// list is cached between calls and revalidated with one stat of the
+// replicas directory: every membership change (register, heartbeat rename,
+// deregister) bumps the directory mtime, so an unchanged mtime means the
+// cached list is current — the serving miss path can call this per request
+// without re-reading and re-parsing every record file. Local
+// RegisterReplica/DeregisterReplica calls invalidate the cache directly.
+func (s *Store) replicasRawLocked() ([]ReplicaInfo, error) {
+	now := time.Now()
 	dir := filepath.Join(s.dir, replicasSubdir)
-	entries, err := os.ReadDir(dir)
+	fi, err := os.Stat(dir)
 	if os.IsNotExist(err) {
+		s.repRaw, s.repMtime = nil, time.Time{}
+		s.repValid, s.repScanned = true, now
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("registry: listing replicas: %w", err)
 	}
-	cutoff := time.Now().Add(-ttl)
-	var out []ReplicaInfo
+	if s.repValid && !s.repMtime.IsZero() && fi.ModTime().Equal(s.repMtime) &&
+		s.repScanned.Sub(s.repMtime) >= replicaMtimeSlack {
+		return s.repRaw, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		s.repRaw, s.repMtime = nil, time.Time{}
+		s.repValid, s.repScanned = true, now
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: listing replicas: %w", err)
+	}
+	var raw []ReplicaInfo
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
-		raw, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
 		if rerr != nil {
 			continue
 		}
 		var info ReplicaInfo
 		// A half-written or foreign file is skipped, not fatal: the fleet
 		// view must survive one broken registration.
-		if json.Unmarshal(raw, &info) != nil || info.ID == "" {
+		if json.Unmarshal(data, &info) != nil || info.ID == "" {
 			continue
 		}
+		raw = append(raw, info)
+	}
+	s.repRaw, s.repMtime = raw, fi.ModTime()
+	s.repValid, s.repScanned = true, now
+	return raw, nil
+}
+
+// Replicas lists the registered replicas whose last heartbeat is within
+// ttl (DefaultReplicaTTL when ttl <= 0), sorted by ID. A store without a
+// replicas directory reports an empty fleet. File discovery is cached and
+// revalidated with a single directory stat (the serving miss path calls
+// this per request); the heartbeat cutoff is applied fresh on every call.
+func (s *Store) Replicas(ttl time.Duration) ([]ReplicaInfo, error) {
+	if ttl <= 0 {
+		ttl = DefaultReplicaTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := s.replicasRawLocked()
+	if err != nil {
+		return nil, err
+	}
+	cutoff := time.Now().Add(-ttl)
+	var out []ReplicaInfo
+	for _, info := range raw {
 		if info.LastSeen.Before(cutoff) {
 			continue
 		}

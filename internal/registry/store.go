@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Store is a file-backed artifact store: one directory holding versioned
@@ -19,6 +20,15 @@ import (
 type Store struct {
 	dir string
 	mu  sync.Mutex
+
+	// Replica-listing cache (see Replicas in fleet.go): the raw parsed
+	// records from the last directory scan, reused for a short window so
+	// peer resolution on the serving miss path does not hit the
+	// filesystem once per request. Guarded by mu.
+	repRaw     []ReplicaInfo
+	repScanned time.Time
+	repMtime   time.Time
+	repValid   bool
 }
 
 // activeMarker is the file naming the active version inside a store dir.

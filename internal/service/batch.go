@@ -29,7 +29,8 @@ type BatchRequest struct {
 // Plan (the same shape as a POST /optimize reply) or Error. Cache reports
 // how the member was served: "hit" (plan cache), "collapsed" (another
 // in-flight request's enumeration), "dedup" (another member of this batch
-// with the same fingerprint), "miss" (own enumeration, cache populated) or
+// with the same fingerprint), "peer" (a peer replica's cache over the
+// fleet-shared tier), "miss" (own enumeration, cache populated) or
 // "" (cache not in play).
 type BatchMemberResult struct {
 	Plan  *OptimizeResponse `json:"plan,omitempty"`
@@ -156,6 +157,7 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 
 	simulate := r.URL.Query().Get("simulate") == "1"
 	nocache := r.URL.Query().Get("nocache") == "1"
+	nopeer := r.URL.Query().Get("nopeer") == "1"
 	useCache := s.PlanCache != nil && !nocache
 
 	// Parse and fingerprint every member up front; duplicates point at the
@@ -184,6 +186,7 @@ func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
 			lambda:   lambda,
 			simulate: simulate,
 			nocache:  nocache,
+			nopeer:   nopeer,
 			shed:     shed,
 			fpDone:   true,
 			endpoint: "batch",

@@ -18,8 +18,13 @@ import (
 // CachezResponse is the JSON reply of GET /cachez.
 type CachezResponse struct {
 	Enabled bool `json:"enabled"`
-	// Stats embeds the cache statistics when a cache is configured.
+	// Stats embeds the cache statistics when a cache is configured (its
+	// peerFills field counts entries installed from the fleet tier).
 	Stats any `json:"stats,omitempty"`
+	// PeerFill embeds the peer-fill client's statistics (hits, misses,
+	// errors, timeouts, memoized negatives, open breakers) when the
+	// fleet-shared tier is enabled.
+	PeerFill any `json:"peerFill,omitempty"`
 }
 
 // PurgeResponse is the JSON reply of POST /cachez/purge.
@@ -38,7 +43,11 @@ func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, CachezResponse{Enabled: false})
 		return
 	}
-	s.writeJSON(w, CachezResponse{Enabled: true, Stats: s.PlanCache.Snapshot()})
+	resp := CachezResponse{Enabled: true, Stats: s.PlanCache.Snapshot()}
+	if s.PeerFill != nil {
+		resp.PeerFill = s.PeerFill.Snapshot()
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleCachezPurge(w http.ResponseWriter, r *http.Request) {

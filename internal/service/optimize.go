@@ -28,6 +28,15 @@ type optimizeReq struct {
 	simulate  bool
 	wantTrace bool
 	nocache   bool
+	// nopeer bypasses the fleet-shared cache tier (peer fill and fleet
+	// singleflight) for this request, mirroring what nocache does for the
+	// local cache.
+	nopeer bool
+	// peerMs is the time spent fetching the served entry from the fleet
+	// tier, set only when the request was peer-filled; cachedOut observes
+	// it into peer_fill_ms{outcome="hit"} with the retained trace as the
+	// exemplar.
+	peerMs float64
 	// endpoint labels the serving metrics ("optimize" or "batch").
 	endpoint string
 	// traceID is the W3C trace ID propagated by the caller's traceparent
@@ -62,7 +71,7 @@ type optimizeReq struct {
 // HTTP status.
 type optimizeOut struct {
 	resp   OptimizeResponse
-	cache  string // X-Cache value: "", "hit", "collapsed", "miss" or "dedup"
+	cache  string // X-Cache value: "", "hit", "collapsed", "miss", "dedup" or "peer"
 	cp     *plancache.CachedPlan
 	status int
 	err    error
@@ -244,6 +253,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		simulate:      r.URL.Query().Get("simulate") == "1",
 		wantTrace:     r.URL.Query().Get("trace") == "1",
 		nocache:       r.URL.Query().Get("nocache") == "1",
+		nopeer:        r.URL.Query().Get("nopeer") == "1",
 		shed:          shed,
 		endpoint:      "optimize",
 		traceID:       traceID,
@@ -368,8 +378,37 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 		// layer: their degraded beam must not be published to followers
 		// expecting a full-quality plan.
 		var cp *plancache.CachedPlan
-		var followed bool
+		var followed, peerServed bool
 		cp, followed, err = s.PlanCache.DoBand(ctx, fp, snap.Version(), riskBand, func() (*plancache.CachedPlan, error) {
+			// Fleet-shared tier, entered only by the process-local
+			// singleflight leader: first ask a peer for its entry, then —
+			// still cold fleet-wide — claim the key in the shared store so
+			// exactly one replica runs the enumeration while the others
+			// wait on the claimant. Every branch degrades to the local
+			// enumeration below; a sick fleet slows a request by bounded
+			// timeouts at worst, it never wedges one.
+			if s.peerFillEnabled(q) {
+				fstart := time.Now()
+				if pcp, ok := s.PlanCache.FillRemote(ctx, fp, snap.Version(), riskBand); ok {
+					q.peerMs = sinceMs(fstart)
+					peerServed = true
+					return pcp, nil
+				}
+				s.Metrics().HistogramVec("peer_fill_ms", "outcome").With("miss").Observe(sinceMs(fstart))
+				pcp, release := s.claimOrWait(ctx, fp, snap.Version(), riskBand)
+				if pcp != nil {
+					q.peerMs = sinceMs(fstart)
+					peerServed = true
+					return pcp, nil
+				}
+				if release != nil {
+					// We hold the fleet claim: release it only after the
+					// enumeration result is published to the local cache,
+					// so a waiter observing the release always finds the
+					// entry (or learns the run failed and contends anew).
+					defer release()
+				}
+			}
 			lr, lerr := cctx.OptimizeProvider(ctx, snap)
 			if lerr != nil {
 				return nil, lerr
@@ -396,6 +435,13 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 			}
 			// The leader's result does not fit this request's plan; run
 			// the enumeration ourselves.
+			res, err = cctx.OptimizeProvider(ctx, snap)
+		} else if err == nil && peerServed && cp != nil {
+			if out, ok := s.cachedOut(q, cp, canon, snap.Version(), tr, "peer"); ok {
+				return out
+			}
+			// The peer's plan does not fit this request (a cross-plan
+			// banding artifact); run the enumeration ourselves.
 			res, err = cctx.OptimizeProvider(ctx, snap)
 		} else if err == nil {
 			leaderCP = cp
@@ -540,8 +586,9 @@ func (s *Server) runOptimize(ctx context.Context, q *optimizeReq) *optimizeOut {
 
 // cachedOut builds the response for a request unit served without its own
 // enumeration: from the plan cache (how = "hit"), from a collapsed
-// concurrent run (how = "collapsed") or from a duplicate batch member's run
-// (how = "dedup"). The cached canonical assignment is rematerialized
+// concurrent run (how = "collapsed"), from a duplicate batch member's run
+// (how = "dedup") or from a peer replica's cache over the fleet-shared
+// tier (how = "peer"). The cached canonical assignment is rematerialized
 // against this request's plan, so conversions and their cardinalities come
 // from the plan itself, byte-identical to the uncached path. Stats are zero
 // — no enumeration work happened. Returns ok=false when the cached plan
@@ -569,6 +616,11 @@ func (s *Server) cachedOut(q *optimizeReq, cp *plancache.CachedPlan, canon *plan
 			linkReason = "singleflight-leader"
 		case "dedup":
 			linkReason = "batch-dedup-leader"
+		case "peer":
+			// The linked trace lives on the replica that enumerated the
+			// plan; /tracez on this replica will not resolve it, the
+			// origin's will.
+			linkReason = "peer-fill"
 		}
 		tr.AddLink(cp.TraceID, linkReason)
 	}
@@ -626,6 +678,9 @@ func (s *Server) cachedOut(q *optimizeReq, cp *plancache.CachedPlan, canon *plan
 	exemplar := ""
 	if retained {
 		exemplar = traceIDOf(tr)
+	}
+	if how == "peer" {
+		m.HistogramVec("peer_fill_ms", "outcome").With("hit").ObserveExemplar(q.peerMs, exemplar)
 	}
 	s.countServing(q.endpoint, "ok", how, resp.OptimizationMs, exemplar)
 	if s.Logger != nil {

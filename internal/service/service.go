@@ -28,9 +28,10 @@
 //     weight λ ≥ 0: plans are scored by predicted mean + λ·spread and
 //     pruning keeps near-ties with overlapping predictive intervals; 0, the
 //     default, is the point-estimate optimizer), simulate=1 (also run the
-//     chosen plan on the simulated cluster) and trace=1 (force-retain the
+//     chosen plan on the simulated cluster), trace=1 (force-retain the
 //     request's trace and inline its span tree and pruning audit trail in
-//     the response).
+//     the response) and nopeer=1 (skip the shared cache tier for this
+//     request: no peer probe, no fleet-singleflight claim).
 //   - POST /optimize/batch — optimize a slice of plans as one admission
 //     unit: members are deduplicated by canonical fingerprint before any
 //     enumeration runs and distinct members fan out across the enumeration
@@ -54,7 +55,11 @@
 //     POST /modelz/retrain, GET /modelz/feedback — the model lifecycle admin
 //     surface (see modelz.go).
 //   - GET /cachez, POST /cachez/purge — the plan cache admin surface
-//     (see cachez.go).
+//     (see cachez.go); with peer fill enabled, /cachez also reports the
+//     shared-tier counters.
+//   - GET /peercache — the shared cache tier's wire endpoint: peers look up
+//     a cache entry by fp=&version=&band=, 200 with a peercache.Entry body
+//     on a hit, 404 on a miss (see peercache.go and internal/peercache).
 //   - /debug/pprof/ — the net/http/pprof profiling surface, mounted only
 //     when the server opts in (roboptd -pprof).
 //
@@ -119,6 +124,15 @@
 // (entries reclaimed after a model swap), plus the plan_cache_age_ms
 // histogram (entry age at hit time).
 //
+// Servers with peer fill enabled (roboptd -peer-fill) additionally expose
+// plan_cache_peer_fills_total (entries installed from peers),
+// peer_fill_hits_total / peer_fill_misses_total / peer_fill_errors_total /
+// peer_fill_timeouts_total (outcomes of outbound peer probes),
+// peer_serve_total (lookups answered for peers on /peercache),
+// fleet_singleflight_claims_total / fleet_singleflight_waits_total /
+// fleet_singleflight_takeovers_total (the claim protocol), and the
+// peer_fill_ms{outcome} histogram, whose hit buckets carry trace exemplars.
+//
 // Servers with a configured Retrainer additionally expose the retrain_*
 // counters, the retrain_ms histogram and the feedback_buffer_len /
 // retrain_last_unix gauges documented in internal/registry.
@@ -168,6 +182,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mlmodel"
 	"repro/internal/obs"
+	"repro/internal/peercache"
 	"repro/internal/plancache"
 	"repro/internal/platform"
 	"repro/internal/registry"
@@ -248,6 +263,29 @@ type Server struct {
 	// ?nocache=1 bypasses the cache for one request. GET /cachez inspects
 	// it and POST /cachez/purge empties it (see cachez.go).
 	PlanCache *plancache.Cache
+	// PeerFill, when set alongside PlanCache, turns the plan cache into a
+	// fleet-shared tier: a local miss consults peer replicas (discovered
+	// through the shared store's heartbeat records) over GET /peercache and
+	// installs a peer's entry before falling back to enumeration, and —
+	// when ModelStore and ReplicaID are also set — a cold enumeration is
+	// preceded by a fleet-singleflight claim in the shared store so only
+	// one replica in the fleet enumerates a cold fingerprint. Responses
+	// served from a peer carry X-Cache: peer and link the origin
+	// enumeration's trace with reason "peer-fill". Nil keeps the serving
+	// path byte-identical to a fleet-unaware server; ?nopeer=1 bypasses the
+	// tier for one request.
+	PeerFill *peercache.Filler
+	// AdvertiseAddr is this replica's address as recorded in fleet
+	// singleflight claim files — the address waiters poll for the claimed
+	// enumeration's result. Usually the fleet registration address.
+	AdvertiseAddr string
+	// ClaimTTL stamps fleet-singleflight claims: a claim older than this is
+	// treated as crashed and taken over (registry.DefaultClaimTTL when 0).
+	ClaimTTL time.Duration
+	// ClaimWait bounds how long a request waits behind another replica's
+	// claim before degrading to a local enumeration (DefaultClaimWait
+	// when 0).
+	ClaimWait time.Duration
 	// SLO, when set, tracks the serving latency objective and its
 	// multi-window error-budget burn rate, exposed on GET /sloz and as
 	// slo_* gauges on /metricz. Nil disables SLO tracking.
@@ -439,6 +477,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/fleetz", s.handleFleetz)
 	mux.HandleFunc("/cachez", s.handleCachez)
 	mux.HandleFunc("/cachez/purge", s.handleCachezPurge)
+	mux.HandleFunc("/peercache", s.handlePeercache)
 	s.registerPprof(mux)
 	return mux
 }

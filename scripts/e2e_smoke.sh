@@ -59,7 +59,7 @@ say "training two model artifacts"
 say "starting roboptd with the artifact store"
 "$WORK/roboptd" -addr "127.0.0.1:$PORT" -model "$WORK/artifact.json" \
   -model-dir "$WORK/store" -platforms 3 -feedback-cap 128 \
-  -replica-id smoke-a -fleet-heartbeat 1s \
+  -replica-id smoke-a -fleet-heartbeat 1s -peer-fill \
   > "$WORK/roboptd.log" 2>&1 &
 DAEMON_PID=$!
 for i in $(seq 1 50); do
@@ -220,7 +220,7 @@ say "pprof stays off by default"
 say "starting replica B over the same model store"
 "$WORK/roboptd" -addr "127.0.0.1:$PORT_B" -model-dir "$WORK/store" \
   -platforms 3 -store-watch-interval 200ms \
-  -replica-id smoke-b -fleet-heartbeat 1s \
+  -replica-id smoke-b -fleet-heartbeat 1s -peer-fill \
   > "$WORK/replica-b.log" 2>&1 &
 REPLICA_PID=$!
 for i in $(seq 1 50); do
@@ -256,6 +256,85 @@ curl -sf -XPOST --data-binary @"$WORK/query.json" "$BASE_B/optimize" > "$WORK/co
 curl -sf "$BASE_B/metricz" > "$WORK/metricz-b.json"
 [ "$(jget "$WORK/metricz-b.json" "d['counters']['store_watch_swaps_total'] >= 1")" = "True" ] \
   || die "store_watch_swaps_total not incremented on replica B"
+
+say "shared cache tier: B peer-fills a plan only A enumerated"
+# A fresh cardinality decade means a fresh fingerprint — cold fleet-wide.
+python3 - "$WORK/query.json" > "$WORK/query2.json" <<'PY'
+import json, sys
+q = json.load(open(sys.argv[1]))
+for op in q["operators"]:
+    if "card" in op:
+        op["card"] *= 100
+print(json.dumps(q))
+PY
+curl -sf -D "$WORK/peer-a.h" -XPOST --data-binary @"$WORK/query2.json" \
+  "$BASE/optimize?trace=1" > "$WORK/peer-a.json"
+grep -qi '^x-cache: miss' "$WORK/peer-a.h" \
+  || die "cold plan was not a miss on replica A"
+curl -sf -D "$WORK/peer-b.h" -XPOST --data-binary @"$WORK/query2.json" \
+  "$BASE_B/optimize?trace=1" > "$WORK/peer-b.json"
+grep -qi '^x-cache: peer' "$WORK/peer-b.h" \
+  || die "replica B did not peer-fill the plan A enumerated: $(cat "$WORK/peer-b.h")"
+[ "$(jget "$WORK/peer-b.json" "d['stats']['modelRows']")" = "0" ] \
+  || die "peer-served response ran the model locally"
+python3 - "$WORK/peer-a.json" "$WORK/peer-b.json" <<'PY' || die "peer-served plan differs from the origin enumeration"
+import json, sys
+a, b = (json.load(open(f)) for f in sys.argv[1:3])
+assert a["assignments"] == b["assignments"], "assignments differ"
+assert a["predictedRuntimeSec"] == b["predictedRuntimeSec"], "prediction differs"
+assert a["modelVersion"] == b["servedModelVersion"], "peer fill crossed model versions"
+PY
+
+say "the peer-served trace links back to the origin enumeration"
+A_TRACE="$(jget "$WORK/peer-a.json" "d['requestId']")"
+B_TRACE="$(jget "$WORK/peer-b.json" "d['requestId']")"
+curl -sf "$BASE_B/tracez?id=$B_TRACE" > "$WORK/peer-trace.json"
+[ "$(jget "$WORK/peer-trace.json" "any(l['reason'] == 'peer-fill' and l['traceId'] == '$A_TRACE' for l in d.get('links', []))")" = "True" ] \
+  || die "peer-fill trace link missing or not pointing at A's trace: $(cat "$WORK/peer-trace.json")"
+
+say "the peer-filled entry is now a plain local hit on B"
+curl -sf -D "$WORK/peer-b2.h" -o /dev/null -XPOST --data-binary @"$WORK/query2.json" \
+  "$BASE_B/optimize"
+grep -qi '^x-cache: hit' "$WORK/peer-b2.h" \
+  || die "peer-filled entry was not installed in B's local cache"
+
+say "checking shared-tier metrics and /cachez on both replicas"
+curl -sf "$BASE_B/metricz" > "$WORK/peer-metricz-b.json"
+[ "$(jget "$WORK/peer-metricz-b.json" "d['counters']['peer_fill_hits_total'] >= 1")" = "True" ] \
+  || die "peer_fill_hits_total not incremented on B"
+[ "$(jget "$WORK/peer-metricz-b.json" "d['counters']['plan_cache_peer_fills_total'] >= 1")" = "True" ] \
+  || die "plan_cache_peer_fills_total not incremented on B"
+curl -sf "$BASE/metricz" > "$WORK/peer-metricz-a.json"
+[ "$(jget "$WORK/peer-metricz-a.json" "d['counters']['peer_serve_total'] >= 1")" = "True" ] \
+  || die "peer_serve_total not incremented on A"
+[ "$(jget "$WORK/peer-metricz-a.json" "d['counters']['fleet_singleflight_claims_total'] >= 1")" = "True" ] \
+  || die "fleet_singleflight_claims_total never moved: cold misses ran unclaimed"
+curl -sf "$BASE_B/cachez" > "$WORK/peer-cachez.json"
+[ "$(jget "$WORK/peer-cachez.json" "d['stats']['peerFills'] >= 1")" = "True" ] \
+  || die "/cachez on B reports no peer fills"
+[ "$(jget "$WORK/peer-cachez.json" "d['peerFill']['hits'] >= 1")" = "True" ] \
+  || die "/cachez on B carries no peerFill block"
+
+say "claim files were created and reaped"
+[ -d "$WORK/store/claims" ] \
+  || die "no claims/ directory in the store: fleet singleflight never claimed"
+[ -z "$(find "$WORK/store/claims" -name '*.json' -print -quit)" ] \
+  || die "stale claim files left behind: $(ls "$WORK/store/claims")"
+
+say "?nopeer=1 bypasses the tier"
+python3 - "$WORK/query.json" > "$WORK/query3.json" <<'PY'
+import json, sys
+q = json.load(open(sys.argv[1]))
+for op in q["operators"]:
+    if "card" in op:
+        op["card"] *= 10000
+print(json.dumps(q))
+PY
+curl -sf -o /dev/null -XPOST --data-binary @"$WORK/query3.json" "$BASE/optimize"
+curl -sf -D "$WORK/nopeer.h" -o /dev/null -XPOST --data-binary @"$WORK/query3.json" \
+  "$BASE_B/optimize?nopeer=1"
+grep -qi '^x-cache: miss' "$WORK/nopeer.h" \
+  || die "?nopeer=1 still consulted the fleet tier"
 
 say "batch endpoint dedups members by fingerprint"
 python3 -c "import json; q=json.load(open('$WORK/query.json')); print(json.dumps({'plans':[q,q]}))" \
@@ -326,6 +405,8 @@ curl -sf "$BASE/fleetz" > "$WORK/fleetz.json"
   || die "/fleetz replicas not converged on v1"
 [ "$(jget "$WORK/fleetz.json" "any(r['cacheHits'] > 0 for r in d['replicas'])")" = "True" ] \
   || die "/fleetz shows no cache traffic"
+[ "$(jget "$WORK/fleetz.json" "d['fleet']['peerFillRate'] > 0")" = "True" ] \
+  || die "/fleetz fleet view reports no peer-fill traffic"
 
 say "obsctl renders the same fleet from the store"
 "$WORK/obsctl" -model-dir "$WORK/store" > "$WORK/obsctl.txt" \
@@ -334,6 +415,8 @@ grep -q "smoke-a" "$WORK/obsctl.txt" && grep -q "smoke-b" "$WORK/obsctl.txt" \
   || die "obsctl table missing a replica: $(cat "$WORK/obsctl.txt")"
 grep -q "2 replicas (2 ready" "$WORK/obsctl.txt" \
   || die "obsctl fleet summary wrong: $(cat "$WORK/obsctl.txt")"
+grep -q "peer " "$WORK/obsctl.txt" \
+  || die "obsctl fleet summary lacks the peer-fill column: $(cat "$WORK/obsctl.txt")"
 
 say "sustained loadgen burst against both replicas ($LOADGEN_DURATION)"
 "$WORK/loadgen" -replicas "$BASE,$BASE_B" -rate 40 -duration "$LOADGEN_DURATION" \
@@ -372,6 +455,18 @@ curl -sf "$BASE/tracez?id=$EXEMPLAR_ID" >/dev/null \
   || die "exemplar trace $EXEMPLAR_ID not resolvable via /tracez"
 grep -q '^slo_burn_rate_' "$WORK/metricz2.prom" \
   || die "exposition lacks slo_burn_rate gauges"
+
+say "loadgen -peer-compare: tier off vs on, same seed"
+"$WORK/loadgen" -replicas "$BASE,$BASE_B" -rate 30 -duration 5s \
+  -distinct 24 -seed 11 -peer-compare -out "$WORK/BENCH_peer.json" \
+  > "$WORK/loadgen-peer.log" 2>&1 \
+  || { cat "$WORK/loadgen-peer.log" >&2; die "loadgen -peer-compare failed"; }
+[ "$(jget "$WORK/BENCH_peer.json" "d['peerCompare']['off']['ok'] > 0 and d['peerCompare']['on']['ok'] > 0")" = "True" ] \
+  || die "peer-compare phases saw no successful responses"
+[ "$(jget "$WORK/BENCH_peer.json" "d['peerCompare']['off']['cache'].get('peer', 0)")" = "0" ] \
+  || die "tier-off phase (?nopeer=1) still served peer fills"
+grep -q "peer-compare:" "$WORK/loadgen-peer.log" \
+  || die "loadgen did not log the peer-compare summary line"
 
 say "replica B drains cleanly"
 kill -TERM "$REPLICA_PID"
